@@ -1,0 +1,35 @@
+# Convenience targets; everything is also runnable directly with pytest.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures claims docs examples all clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro figures --output benchmarks/output
+
+claims:
+	$(PYTHON) -m repro claims
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+all: install test bench claims docs
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *times* its experiment (pytest-benchmark) and
+*regenerates the paper's data*: the tables/series are printed to stdout
+(visible with ``pytest -s``) and persisted under ``benchmarks/output/``
+so a full ``pytest benchmarks/ --benchmark-only`` run leaves the complete
+set of reproduced figures on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Paper anchor numbers quoted in section 4.2, for side-by-side context
+#: in the quality benchmarks: worst-case (execution, penalty) deviations
+#: of HeavyOps-LargeMsgs from the best of 32 000 sampled solutions.
+PAPER_QUALITY_ANCHORS = {
+    ("line", 1e6): (0.029, 0.12),
+    ("line", 100e6): (0.29, 0.003),
+    ("graph", 1e6): (0.29, 0.018),
+    ("graph", 100e6): (0.0, 0.0),
+}
+
+
+def emit(name: str, *renderables) -> None:
+    """Print tables/strings and persist them to ``output/<name>.txt``."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    chunks = []
+    for renderable in renderables:
+        text = renderable if isinstance(renderable, str) else str(renderable)
+        chunks.append(text)
+    body = "\n\n".join(chunks) + "\n"
+    (OUTPUT_DIR / f"{name}.txt").write_text(body)
+    print(f"\n=== {name} ===\n{body}")

@@ -1,0 +1,29 @@
+"""Class A experiments: vary link capacity and message sizes (§4.1).
+
+The paper describes (without plotting) experiments that sweep the
+communication side while the CPU side stays fixed. Reproduction target:
+algorithm differentiation grows as links slow down or messages grow --
+on gigabit links all heuristics converge, on congested links the
+message-aware ones (FLMME, HOLM) pull ahead on execution time.
+"""
+
+from repro.experiments.classes import class_a_configs
+from repro.experiments.runner import DEFAULT_ALGORITHMS, ExperimentRunner
+
+from _common import emit
+
+
+def bench_class_a_sweep(benchmark):
+    runner = ExperimentRunner(DEFAULT_ALGORITHMS)
+    configs = class_a_configs(
+        num_operations=19, num_servers=5, repetitions=4, seed=101
+    )
+    table = benchmark.pedantic(
+        runner.sweep_table,
+        args=(configs,),
+        kwargs={"metric": "execution"},
+        rounds=1,
+        iterations=1,
+    )
+    penalty_table = runner.sweep_table(configs, metric="penalty")
+    emit("class_a_sweep", table, penalty_table)

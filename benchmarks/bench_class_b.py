@@ -1,0 +1,28 @@
+"""Class B experiments: vary CPU power and workload (§4.1).
+
+Reproduction target: with communication pinned (medium messages on a
+100 Mbps bus), execution time scales with operation cost over server
+power, and all fairness-aware heuristics behave alike -- the CPU side
+alone does not differentiate the algorithms.
+"""
+
+from repro.experiments.classes import class_b_configs
+from repro.experiments.runner import DEFAULT_ALGORITHMS, ExperimentRunner
+
+from _common import emit
+
+
+def bench_class_b_sweep(benchmark):
+    runner = ExperimentRunner(DEFAULT_ALGORITHMS)
+    configs = class_b_configs(
+        num_operations=19, num_servers=5, repetitions=4, seed=202
+    )
+    table = benchmark.pedantic(
+        runner.sweep_table,
+        args=(configs,),
+        kwargs={"metric": "execution"},
+        rounds=1,
+        iterations=1,
+    )
+    penalty_table = runner.sweep_table(configs, metric="penalty")
+    emit("class_b_sweep", table, penalty_table)

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not a paper experiment -- these watch the costs the experiment harness
+pays per instance: cost evaluation (the 32 000-sample quality protocol
+multiplies this), deployment algorithms, and a full simulation run.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.base import algorithm_registry
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.simulation.engine import SimulationEngine
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_bus_network,
+    random_graph_workflow,
+)
+
+
+@pytest.fixture(scope="module")
+def line_instance():
+    workflow = line_workflow(19, seed=1)
+    network = random_bus_network(5, seed=2)
+    return workflow, network, CostModel(workflow, network)
+
+
+@pytest.fixture(scope="module")
+def graph_instance():
+    workflow = random_graph_workflow(19, GraphStructure.HYBRID, seed=3)
+    network = random_bus_network(5, seed=4)
+    return workflow, network, CostModel(workflow, network)
+
+
+def bench_cost_evaluation_line(benchmark, line_instance):
+    workflow, network, model = line_instance
+    deployment = Deployment.random(workflow, network, random.Random(5))
+    breakdown = benchmark(model.evaluate, deployment)
+    assert breakdown.execution_time > 0
+
+
+def bench_cost_evaluation_graph(benchmark, graph_instance):
+    workflow, network, model = graph_instance
+    deployment = Deployment.random(workflow, network, random.Random(5))
+    breakdown = benchmark(model.evaluate, deployment)
+    assert breakdown.execution_time > 0
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["FairLoad", "FL-TieResolver2", "FL-MergeMsgEnds", "HeavyOps-LargeMsgs"],
+)
+def bench_algorithm_deploy(benchmark, line_instance, name):
+    workflow, network, model = line_instance
+    algorithm = algorithm_registry()[name]()
+    deployment = benchmark(
+        algorithm.deploy, workflow, network, model, 7
+    )
+    assert deployment.is_complete(workflow)
+
+
+def bench_simulation_run(benchmark, graph_instance):
+    workflow, network, model = graph_instance
+    deployment = Deployment.random(workflow, network, random.Random(6))
+    engine = SimulationEngine(workflow, network, deployment)
+    result = benchmark(engine.run, 9)
+    assert result.makespan > 0

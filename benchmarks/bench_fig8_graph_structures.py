@@ -1,0 +1,52 @@
+"""Fig. 8 -- Graph--Bus algorithms organised per graph structure.
+
+One panel per structure (bushy 50/50, lengthy 16/84, hybrid 35/65
+decision/operational balance). Reproduction target: the algorithm
+ordering of Fig. 7 holds within every structure -- the winner does not
+change with the decision-node density.
+"""
+
+import pytest
+
+from repro.experiments.reporting import scatter_table
+from repro.experiments.runner import (
+    DEFAULT_ALGORITHMS,
+    ExperimentConfig,
+    ExperimentRunner,
+)
+from repro.workloads.generator import GraphStructure
+
+from _common import emit
+
+PANELS = [
+    ("bushy", 1e6),
+    ("bushy", 100e6),
+    ("lengthy", 1e6),
+    ("lengthy", 100e6),
+    ("hybrid", 1e6),
+    ("hybrid", 100e6),
+]
+
+
+@pytest.mark.parametrize("kind,speed", PANELS)
+def bench_fig8_panel(benchmark, kind, speed):
+    runner = ExperimentRunner(DEFAULT_ALGORITHMS)
+    config = ExperimentConfig(
+        workflow_kind=kind,
+        num_operations=19,
+        num_servers=5,
+        bus_speed_bps=speed,
+        repetitions=8,
+        seed=99,
+    )
+    result = benchmark(runner.run, config)
+    fraction = GraphStructure[kind.upper()].decision_fraction
+    label = f"fig8_{kind}_{speed / 1e6:g}Mbps"
+    emit(
+        label,
+        f"structure: {kind} (target decision fraction {fraction:.0%})",
+        result.summary_table(),
+        scatter_table(result.scatter_points(), title=f"scatter ({label})"),
+        f"winner by execution time: {result.winner_by_execution()}",
+        f"winner by time penalty:  {result.winner_by_penalty()}",
+    )

@@ -1,0 +1,51 @@
+"""Section 4.2 quality numbers, Graph--Bus: deviation from sampled best.
+
+The paper: "HeavyOps-LargeMsgs produces (29%, 1.8%) deviations for
+execution time/time penalty for the 1 Mbps bus, and (0%, 0%) for the
+100 Mbps bus." Same protocol as the Line--Bus assessment, on random
+well-formed graph workflows (hybrid structure as the representative
+middle ground). ``REPRO_PAPER_SCALE=1`` switches to the full 50 x 32 000
+protocol.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.quality import QualityProtocol
+from repro.experiments.runner import DEFAULT_ALGORITHMS, ExperimentConfig
+
+from _common import PAPER_QUALITY_ANCHORS, emit
+
+PAPER_SCALE = bool(int(os.environ.get("REPRO_PAPER_SCALE", "0")))
+EXPERIMENTS = 50 if PAPER_SCALE else 10
+SAMPLES = 32_000 if PAPER_SCALE else 2_000
+
+
+@pytest.mark.parametrize("speed", (1e6, 100e6))
+def bench_quality_graph_bus(benchmark, speed):
+    protocol = QualityProtocol(
+        algorithms=DEFAULT_ALGORITHMS,
+        experiments=EXPERIMENTS,
+        samples=SAMPLES,
+    )
+    config = ExperimentConfig(
+        workflow_kind="hybrid",
+        num_operations=19,
+        num_servers=5,
+        bus_speed_bps=speed,
+        repetitions=1,
+        seed=56,
+    )
+    report = benchmark.pedantic(protocol.run, args=(config,), rounds=1, iterations=1)
+    anchor = PAPER_QUALITY_ANCHORS[("graph", speed)]
+    label = f"quality_graph_bus_{speed / 1e6:g}Mbps"
+    emit(
+        label,
+        report.table(),
+        (
+            f"paper anchor for HeavyOps-LargeMsgs (worst case, 50 x 32000): "
+            f"execution {anchor[0]:.1%}, penalty {anchor[1]:.1%}"
+        ),
+        f"this run: {EXPERIMENTS} experiments x {SAMPLES} samples",
+    )

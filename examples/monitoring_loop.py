@@ -1,0 +1,104 @@
+"""The §3.4 monitoring loop: observe, recalibrate, redeploy.
+
+The paper's graph algorithms weight costs by XOR branch probabilities
+obtained "by monitoring initial executions of the workflow". This script
+plays that story end to end:
+
+1. deploy a workflow whose annotated XOR probabilities are *wrong*
+   (the designers guessed 50/50; production traffic is 95/5);
+2. observe 1 000 simulated executions of the initial deployment and
+   estimate the real branch frequencies;
+3. recalibrate the workflow and redeploy with HeavyOps-LargeMsgs;
+4. compare the *true* expected execution time before and after.
+
+Run with::
+
+    python examples/monitoring_loop.py
+"""
+
+from repro import (
+    CostModel,
+    Deployment,
+    HeavyOpsLargeMsgs,
+    NodeKind,
+    WorkflowBuilder,
+    bus_network,
+)
+from repro.experiments.reporting import format_seconds
+from repro.workloads.messages import COMPLEX_MESSAGE, SIMPLE_MESSAGE
+from repro.workloads.monitoring import (
+    calibrated_workflow,
+    observe_branch_frequencies,
+)
+
+TRUE_P_EXPRESS = 0.95  # what production traffic actually does
+
+
+def claims_workflow(p_express: float, name: str):
+    """An insurance-claims pipeline with one routing decision.
+
+    The express path is light; the audit path is heavy *and* ships a
+    complex document -- where the deployment decision actually matters.
+    """
+    builder = WorkflowBuilder(name, default_message_bits=SIMPLE_MESSAGE.size_bits)
+    builder.task("intake", 5e6)
+    builder.split(NodeKind.XOR_SPLIT, "route", 1e6)
+    builder.branch(probability=p_express)
+    builder.task("express_check", 20e6)
+    builder.branch(probability=1.0 - p_express)
+    builder.task("full_audit", 500e6, message_bits=COMPLEX_MESSAGE.size_bits)
+    builder.task("legal_review", 200e6, message_bits=COMPLEX_MESSAGE.size_bits)
+    builder.join("routed", 1e6)
+    builder.task("settle", 10e6)
+    return builder.build()
+
+
+def main() -> None:
+    network = bus_network([1e9, 2e9, 2e9], speed_bps=10e6)
+
+    # the world as production sees it (ground truth for evaluation)
+    truth = claims_workflow(TRUE_P_EXPRESS, "claims-truth")
+    truth_model = CostModel(truth, network)
+
+    # the world as the designers annotated it: 50/50
+    guessed = claims_workflow(0.5, "claims-guessed")
+    initial = HeavyOpsLargeMsgs().deploy(guessed, network)
+    initial_cost = truth_model.evaluate(initial)
+    print(
+        f"deployment under guessed 50/50 probabilities: "
+        f"true expected Texecute = {format_seconds(initial_cost.execution_time)}"
+    )
+
+    # monitor production (simulated with the true probabilities)
+    frequencies = observe_branch_frequencies(
+        truth, network, initial, runs=1_000, rng=7
+    )
+    observed = frequencies[("route", "express_check")]
+    print(f"observed express-path frequency over 1000 runs: {observed:.1%}")
+
+    # recalibrate the *guessed* model with the observations and redeploy
+    calibrated = calibrated_workflow(guessed, frequencies, name="claims-calibrated")
+    recalibrated = HeavyOpsLargeMsgs().deploy(calibrated, network)
+    final_cost = truth_model.evaluate(recalibrated)
+    print(
+        f"deployment after recalibration:               "
+        f"true expected Texecute = {format_seconds(final_cost.execution_time)}"
+    )
+
+    moved = initial.diff(recalibrated)
+    improvement = 1.0 - final_cost.execution_time / initial_cost.execution_time
+    print(
+        f"\nrecalibration moved {len(moved)} operation(s) and changed the "
+        f"true expected execution time by {improvement:+.1%}"
+    )
+    print(
+        "why: under 50/50 the heavy audit path looks ~10x more frequent "
+        "than it is, so the planner spreads it across servers and pays "
+        "bus transfers for its complex documents; the observed 95/5 "
+        "weights let it co-locate the rare heavy chain and keep the "
+        "express path (the case that almost always happens) lean."
+    )
+
+
+if __name__ == "__main__":
+    main()

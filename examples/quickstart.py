@@ -1,0 +1,44 @@
+"""Quickstart: deploy a 19-operation workflow onto a 5-server bus.
+
+Builds a Class C line workflow (Table 6 parameters), runs the paper's
+winning algorithm (HeavyOps-LargeMsgs), and prints the two cost metrics
+plus the per-server mapping. Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CostModel, HeavyOpsLargeMsgs, bus_network, line_workflow
+
+
+def main() -> None:
+    # a workflow of 19 chained web-service operations, costs and message
+    # sizes sampled from the paper's Table 6 mixtures
+    workflow = line_workflow(19, seed=7)
+
+    # five provider servers (1-3 GHz) sharing a 100 Mbps bus
+    network = bus_network([1e9, 2e9, 2e9, 3e9, 2e9], speed_bps=100e6)
+
+    # deploy with the paper's overall winner
+    mapping = HeavyOpsLargeMsgs().deploy(workflow, network)
+
+    model = CostModel(workflow, network)
+    cost = model.evaluate(mapping)
+
+    print(f"workflow:        {workflow.name} ({len(workflow)} operations)")
+    print(f"network:         {network.name} ({len(network)} servers)")
+    print(f"execution time:  {cost.execution_time * 1e3:.2f} ms")
+    print(f"time penalty:    {cost.time_penalty * 1e3:.2f} ms")
+    print(f"objective:       {cost.objective * 1e3:.2f} ms")
+    print()
+    print("deployment:")
+    for server in network.server_names:
+        operations = mapping.operations_on(server)
+        load = cost.loads[server]
+        print(
+            f"  {server} ({network.server(server).power_hz / 1e9:.0f} GHz, "
+            f"load {load * 1e3:6.2f} ms): {', '.join(operations) or '-'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine has no network access and no
+``wheel`` distribution, so the PEP 660 editable build (which produces an
+editable *wheel*) cannot run. This shim keeps the legacy
+``setup.py develop`` path available::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+All metadata lives in ``pyproject.toml``; this file adds nothing else.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,166 @@
+"""repro -- reproduction of *Efficient Deployment of Web Service Workflows*.
+
+The library implements the ICDE 2007 paper by Stamkopoulos, Pitoura and
+Vassiliadis end to end: the workflow/network/cost model of section 2, the
+full suite of greedy deployment algorithms of section 3 (plus the
+exhaustive and random baselines), a discrete-event simulator that
+cross-checks the analytic cost model, the workload generators of section
+4.1 (including the Class A/B/C parameter mixtures of Table 6) and an
+experiment harness that regenerates every figure and table of the
+evaluation.
+
+Quickstart::
+
+    from repro import (
+        bus_network, line_workflow, CostModel, HeavyOpsLargeMsgs,
+    )
+
+    workflow = line_workflow(19, seed=7)
+    network = bus_network([1e9, 2e9, 2e9, 3e9, 2e9], speed_bps=100e6)
+    mapping = HeavyOpsLargeMsgs().deploy(workflow, network)
+    print(CostModel(workflow, network).evaluate(mapping))
+"""
+
+from repro.core import (
+    NodeKind,
+    Operation,
+    Message,
+    Workflow,
+    WorkflowBuilder,
+    WellFormednessReport,
+    check_well_formed,
+    assert_well_formed,
+    execution_probabilities,
+    Deployment,
+    CostModel,
+    CostBreakdown,
+    Constraint,
+    MaxExecutionTime,
+    MaxServerLoad,
+    MaxTimePenalty,
+    ConstraintSet,
+)
+from repro.network import (
+    Server,
+    Link,
+    ServerNetwork,
+    line_network,
+    bus_network,
+    star_network,
+    ring_network,
+    full_mesh_network,
+    Router,
+)
+from repro.core.constraints import MaxResponseTime
+from repro.core.analysis import (
+    workflow_statistics,
+    region_tree,
+    extract_region,
+    critical_path,
+    CriticalPath,
+    RegionNode,
+)
+from repro.algorithms import (
+    DeploymentAlgorithm,
+    algorithm_registry,
+    get_algorithm,
+    Exhaustive,
+    RandomMapping,
+    SolutionSampler,
+    LineLine,
+    FairLoad,
+    FairLoadTieResolver,
+    FairLoadTieResolver2,
+    FairLoadMergeMessages,
+    HeavyOpsLargeMsgs,
+    HillClimbing,
+    SimulatedAnnealing,
+    BranchAndBound,
+    GeneticAlgorithm,
+)
+from repro.simulation import SimulationEngine, SimulationResult
+from repro.workloads import (
+    MessageClass,
+    SIMPLE_MESSAGE,
+    MEDIUM_MESSAGE,
+    COMPLEX_MESSAGE,
+    line_workflow,
+    random_graph_workflow,
+    GraphStructure,
+    ClassCParameters,
+    healthcare_workflow,
+    monitor_and_calibrate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "NodeKind",
+    "Operation",
+    "Message",
+    "Workflow",
+    "WorkflowBuilder",
+    "WellFormednessReport",
+    "check_well_formed",
+    "assert_well_formed",
+    "execution_probabilities",
+    "Deployment",
+    "CostModel",
+    "CostBreakdown",
+    "Constraint",
+    "MaxExecutionTime",
+    "MaxServerLoad",
+    "MaxTimePenalty",
+    "ConstraintSet",
+    # network
+    "Server",
+    "Link",
+    "ServerNetwork",
+    "line_network",
+    "bus_network",
+    "star_network",
+    "ring_network",
+    "full_mesh_network",
+    "Router",
+    # algorithms
+    "DeploymentAlgorithm",
+    "algorithm_registry",
+    "get_algorithm",
+    "Exhaustive",
+    "RandomMapping",
+    "SolutionSampler",
+    "LineLine",
+    "FairLoad",
+    "FairLoadTieResolver",
+    "FairLoadTieResolver2",
+    "FairLoadMergeMessages",
+    "HeavyOpsLargeMsgs",
+    "HillClimbing",
+    "SimulatedAnnealing",
+    "BranchAndBound",
+    "GeneticAlgorithm",
+    # analysis / constraints extensions
+    "MaxResponseTime",
+    "workflow_statistics",
+    "region_tree",
+    "extract_region",
+    "critical_path",
+    "CriticalPath",
+    "RegionNode",
+    # simulation
+    "SimulationEngine",
+    "SimulationResult",
+    # workloads
+    "MessageClass",
+    "SIMPLE_MESSAGE",
+    "MEDIUM_MESSAGE",
+    "COMPLEX_MESSAGE",
+    "line_workflow",
+    "random_graph_workflow",
+    "GraphStructure",
+    "ClassCParameters",
+    "healthcare_workflow",
+    "monitor_and_calibrate",
+    "__version__",
+]

@@ -1,0 +1,73 @@
+"""Deployment algorithms (section 3 and the appendix of the paper).
+
+Baselines
+    :class:`~repro.algorithms.exhaustive.Exhaustive` (section 3.1),
+    :class:`~repro.algorithms.sampling.RandomMapping` and
+    :class:`~repro.algorithms.sampling.SolutionSampler` (the 32 000-sample
+    quality protocol of section 4.1).
+
+Line--Line (section 3.2)
+    :class:`~repro.algorithms.line_line.LineLine` with its four variants
+    (with/without critical-bridge fixing, left-to-right / best of both
+    directions).
+
+Line--Bus and Random Graph--Bus (sections 3.3-3.4)
+    :class:`~repro.algorithms.fair_load.FairLoad`,
+    :class:`~repro.algorithms.tie_resolver.FairLoadTieResolver` (FLTR),
+    :class:`~repro.algorithms.tie_resolver.FairLoadTieResolver2` (FLTR2),
+    :class:`~repro.algorithms.merge_messages.FairLoadMergeMessages`
+    (FL-MergeMsgEnds) and
+    :class:`~repro.algorithms.heavy_ops.HeavyOpsLargeMsgs` (HOLM). The
+    same classes handle both workflow shapes: on graphs with XOR decision
+    nodes all of them except Fair Load weight cycles and message sizes by
+    execution probability, exactly as section 3.4 prescribes.
+
+Extensions (section 6 future work)
+    :class:`~repro.algorithms.local_search.HillClimbing` and
+    :class:`~repro.algorithms.local_search.SimulatedAnnealing` refine any
+    starting mapping by single-operation moves;
+    :class:`~repro.algorithms.branch_and_bound.BranchAndBound` finds the
+    exact optimum with pruning (a stronger §3.1);
+    :class:`~repro.algorithms.genetic.GeneticAlgorithm` is a population-
+    based improver seeded with the greedy suite.
+"""
+
+from repro.algorithms.base import (
+    DeploymentAlgorithm,
+    algorithm_registry,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.algorithms.exhaustive import Exhaustive
+from repro.algorithms.sampling import RandomMapping, SolutionSampler, SampleStatistics
+from repro.algorithms.line_line import LineLine
+from repro.algorithms.fair_load import FairLoad
+from repro.algorithms.tie_resolver import FairLoadTieResolver, FairLoadTieResolver2
+from repro.algorithms.merge_messages import FairLoadMergeMessages
+from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.algorithms.local_search import HillClimbing, SimulatedAnnealing
+from repro.algorithms.branch_and_bound import BranchAndBound
+from repro.algorithms.genetic import GeneticAlgorithm
+from repro.algorithms.constrained import ConstraintAwareSearch
+
+__all__ = [
+    "DeploymentAlgorithm",
+    "algorithm_registry",
+    "get_algorithm",
+    "register_algorithm",
+    "Exhaustive",
+    "RandomMapping",
+    "SolutionSampler",
+    "SampleStatistics",
+    "LineLine",
+    "FairLoad",
+    "FairLoadTieResolver",
+    "FairLoadTieResolver2",
+    "FairLoadMergeMessages",
+    "HeavyOpsLargeMsgs",
+    "HillClimbing",
+    "SimulatedAnnealing",
+    "BranchAndBound",
+    "GeneticAlgorithm",
+    "ConstraintAwareSearch",
+]

@@ -1,0 +1,209 @@
+"""Algorithm base class, problem context and registry.
+
+Every deployment algorithm implements the same contract: given a workflow
+``W(O, E)`` and a server network ``N(S, L)``, produce a complete
+:class:`~repro.core.mapping.Deployment`. The :class:`DeploymentAlgorithm`
+base class normalises the entry point (:meth:`DeploymentAlgorithm.deploy`),
+validates the inputs once, builds the shared :class:`ProblemContext` and
+leaves only :meth:`DeploymentAlgorithm._deploy` for subclasses.
+
+A module-level registry maps algorithm names (the labels used in the
+paper's figures) to classes so that the experiment harness and benchmarks
+can select algorithms by name.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.core.workflow import Workflow
+from repro.exceptions import AlgorithmError
+from repro.network.topology import ServerNetwork
+
+__all__ = [
+    "ProblemContext",
+    "DeploymentAlgorithm",
+    "register_algorithm",
+    "algorithm_registry",
+    "get_algorithm",
+]
+
+_REGISTRY: dict[str, type["DeploymentAlgorithm"]] = {}
+
+
+def register_algorithm(cls: type["DeploymentAlgorithm"]) -> type["DeploymentAlgorithm"]:
+    """Class decorator adding *cls* to the global registry by its name."""
+    name = cls.name
+    if not name or name == DeploymentAlgorithm.name:
+        raise AlgorithmError(f"algorithm class {cls.__name__} must set a name")
+    if name in _REGISTRY:
+        raise AlgorithmError(f"algorithm name {name!r} registered twice")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def algorithm_registry() -> dict[str, type["DeploymentAlgorithm"]]:
+    """A copy of the name -> class registry."""
+    return dict(_REGISTRY)
+
+
+def get_algorithm(name: str) -> type["DeploymentAlgorithm"]:
+    """Look an algorithm class up by its registered name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; known algorithms: {known}"
+        ) from None
+
+
+@dataclass
+class ProblemContext:
+    """Everything an algorithm needs about one problem instance.
+
+    Built once per :meth:`DeploymentAlgorithm.deploy` call, it bundles the
+    inputs with the shared cost model, the RNG, and the section 3.4
+    probability weights (all 1.0 for workflows without XOR splits or when
+    the algorithm opts out of weighting).
+
+    Attributes
+    ----------
+    op_weights:
+        Execution probability per operation name.
+    msg_weights:
+        Unconditional send probability per ``(source, target)`` pair.
+    """
+
+    workflow: Workflow
+    network: ServerNetwork
+    cost_model: CostModel
+    rng: random.Random
+    op_weights: Mapping[str, float] = field(default_factory=dict)
+    msg_weights: Mapping[tuple[str, str], float] = field(default_factory=dict)
+
+    def weighted_cycles(self, operation_name: str) -> float:
+        """``C(op)`` scaled by the operation's execution probability."""
+        return (
+            self.workflow.operation(operation_name).cycles
+            * self.op_weights[operation_name]
+        )
+
+    def weighted_message_bits(self, source: str, target: str) -> float:
+        """``MsgSize`` scaled by the message's send probability."""
+        return (
+            self.workflow.message(source, target).size_bits
+            * self.msg_weights[(source, target)]
+        )
+
+    def total_weighted_cycles(self) -> float:
+        """Weighted ``Sum_Cycles`` over all operations."""
+        return sum(
+            op.cycles * self.op_weights[op.name] for op in self.workflow
+        )
+
+    def initial_ideal_cycles(self) -> dict[str, float]:
+        """``Ideal_Cycles(s)`` for every server (weighted ``Sum_Cycles``)."""
+        total = self.total_weighted_cycles()
+        capacity = self.network.total_power_hz
+        return {
+            server.name: total * server.power_hz / capacity
+            for server in self.network
+        }
+
+
+class DeploymentAlgorithm(ABC):
+    """Base class for all deployment algorithms.
+
+    Subclasses set :attr:`name` (the registry key, matching the paper's
+    labels) and implement :meth:`_deploy`. Instances are stateless with
+    respect to problem data: configuration lives in ``__init__``
+    parameters, and every :meth:`deploy` call is independent.
+
+    Class attributes
+    ----------------
+    name:
+        Registry key and report label.
+    uses_probability_weights:
+        When True (the default) and the workflow contains ``XOR`` splits,
+        cycles and message sizes seen through the
+        :class:`ProblemContext` are probability-weighted (section 3.4).
+        Fair Load sets this to False -- the paper keeps it "exactly the
+        same" on random graphs.
+    """
+
+    name: str = "abstract"
+    uses_probability_weights: bool = True
+
+    def deploy(
+        self,
+        workflow: Workflow,
+        network: ServerNetwork,
+        cost_model: CostModel | None = None,
+        rng: random.Random | int | None = None,
+    ) -> Deployment:
+        """Compute a complete mapping of *workflow* onto *network*.
+
+        Parameters
+        ----------
+        workflow, network:
+            The problem instance. The workflow must be non-empty and a
+            DAG; the network must be non-empty and connected.
+        cost_model:
+            Optional shared :class:`~repro.core.cost.CostModel`; built
+            with default weights when omitted. Algorithms use it for
+            evaluation-driven choices (e.g. best-of-two-directions) and
+            experiments should pass the same model they score with.
+        rng:
+            Seed or ``random.Random`` used for the random initial mapping
+            required by the tie-resolver family and for any stochastic
+            tie-breaks. Defaults to a deterministic ``Random(0)``.
+        """
+        if len(workflow) == 0:
+            raise AlgorithmError("workflow has no operations")
+        if len(network) == 0:
+            raise AlgorithmError("network has no servers")
+        network.require_connected()
+        if cost_model is None:
+            cost_model = CostModel(workflow, network)
+        if rng is None:
+            rng = random.Random(0)
+        elif isinstance(rng, int):
+            rng = random.Random(rng)
+
+        if self.uses_probability_weights and cost_model.use_probabilities:
+            op_weights = {
+                name: cost_model.node_probability(name)
+                for name in workflow.operation_names
+            }
+            msg_weights = {
+                message.pair: cost_model.message_probability(message)
+                for message in workflow.messages
+            }
+        else:
+            op_weights = {name: 1.0 for name in workflow.operation_names}
+            msg_weights = {message.pair: 1.0 for message in workflow.messages}
+
+        context = ProblemContext(
+            workflow=workflow,
+            network=network,
+            cost_model=cost_model,
+            rng=rng,
+            op_weights=op_weights,
+            msg_weights=msg_weights,
+        )
+        deployment = self._deploy(context)
+        deployment.validate(workflow, network)
+        return deployment
+
+    @abstractmethod
+    def _deploy(self, context: ProblemContext) -> Deployment:
+        """Algorithm body; must return a complete deployment."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

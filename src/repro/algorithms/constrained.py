@@ -1,0 +1,97 @@
+"""Constraint-aware deployment (the §6 "user-defined constraints" study).
+
+Section 2.2 admits a constraint set ``C``; section 6 leaves "a detailed
+study of the proposed algorithms whenever user-defined constraints are
+given" as future work. :class:`ConstraintAwareSearch` provides that
+study's missing piece: a deployment algorithm that *honours* the
+constraints instead of filtering after the fact.
+
+Strategy: seed with any base algorithm, then steepest-descent over
+single-operation moves under a lexicographic objective --
+
+1. minimise the summed constraint excess (seconds over the limits);
+2. among equally-feasible mappings, minimise the scalar objective.
+
+The result is admissible whenever the search finds any admissible
+mapping; when the constraints are unsatisfiable it returns the mapping
+with the smallest remaining excess (callers can check with
+``constraints.satisfied(...)``).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    DeploymentAlgorithm,
+    ProblemContext,
+    register_algorithm,
+)
+from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.core.constraints import ConstraintSet
+from repro.core.mapping import Deployment
+from repro.exceptions import AlgorithmError
+
+__all__ = ["ConstraintAwareSearch"]
+
+
+@register_algorithm
+class ConstraintAwareSearch(DeploymentAlgorithm):
+    """Local search under a lexicographic (feasibility, objective) order.
+
+    Parameters
+    ----------
+    constraints:
+        The user constraint set ``C`` to honour.
+    seed_algorithm:
+        Produces the starting mapping (HeavyOps-LargeMsgs by default --
+        start from the paper's best general-purpose heuristic).
+    max_iterations:
+        Improvement rounds; each scans the full move neighbourhood.
+    """
+
+    name = "ConstraintAware"
+
+    def __init__(
+        self,
+        constraints: ConstraintSet | None = None,
+        seed_algorithm: DeploymentAlgorithm | None = None,
+        max_iterations: int = 200,
+    ):
+        if max_iterations < 1:
+            raise AlgorithmError("max_iterations must be >= 1")
+        self.constraints = constraints or ConstraintSet()
+        self.seed_algorithm = seed_algorithm or HeavyOpsLargeMsgs()
+        self.max_iterations = max_iterations
+
+    def _score(self, context: ProblemContext, deployment: Deployment):
+        cost = context.cost_model.evaluate(deployment)
+        return (self.constraints.total_excess(cost), cost.objective)
+
+    def _deploy(self, context: ProblemContext) -> Deployment:
+        current = self.seed_algorithm.deploy(
+            context.workflow,
+            context.network,
+            cost_model=context.cost_model,
+            rng=context.rng,
+        )
+        current_score = self._score(context, current)
+        operations = context.workflow.operation_names
+        servers = context.network.server_names
+        for _ in range(self.max_iterations):
+            best_move: tuple[str, str] | None = None
+            best_score = current_score
+            for operation in operations:
+                original = current.server_of(operation)
+                for server in servers:
+                    if server == original:
+                        continue
+                    current.assign(operation, server)
+                    score = self._score(context, current)
+                    if score < best_score:
+                        best_score = score
+                        best_move = (operation, server)
+                current.assign(operation, original)
+            if best_move is None:
+                break
+            current.assign(*best_move)
+            current_score = best_score
+        return current

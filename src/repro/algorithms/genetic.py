@@ -1,0 +1,145 @@
+"""Genetic-algorithm deployment (an extension beyond the paper).
+
+A straightforward GA over complete mappings, included as a stronger
+stochastic baseline than simulated annealing for the ablation benches:
+
+* a chromosome is the tuple of server choices, one gene per operation;
+* fitness is the negative scalar objective of the cost model;
+* tournament selection, uniform crossover, per-gene reset mutation,
+  elitism of the single best individual;
+* the initial population mixes random mappings with the greedy suite's
+  results so the GA starts no worse than the paper's heuristics.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    DeploymentAlgorithm,
+    ProblemContext,
+    register_algorithm,
+)
+from repro.algorithms.fair_load import FairLoad
+from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.core.mapping import Deployment
+from repro.exceptions import AlgorithmError
+
+__all__ = ["GeneticAlgorithm"]
+
+
+@register_algorithm
+class GeneticAlgorithm(DeploymentAlgorithm):
+    """Population-based search over deployments.
+
+    Parameters
+    ----------
+    population_size:
+        Individuals per generation (>= 2).
+    generations:
+        Number of evolution steps.
+    crossover_rate:
+        Probability a child mixes two parents (else clones one).
+    mutation_rate:
+        Per-gene probability of a random server reset.
+    tournament:
+        Tournament size for parent selection.
+    seed_with_heuristics:
+        Include FairLoad's and HeavyOps-LargeMsgs' mappings in the
+        initial population (on by default; the GA is then an *improver*).
+    """
+
+    name = "Genetic"
+
+    def __init__(
+        self,
+        population_size: int = 30,
+        generations: int = 40,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.05,
+        tournament: int = 3,
+        seed_with_heuristics: bool = True,
+    ):
+        if population_size < 2:
+            raise AlgorithmError("population_size must be >= 2")
+        if generations < 1:
+            raise AlgorithmError("generations must be >= 1")
+        if not 0.0 <= crossover_rate <= 1.0:
+            raise AlgorithmError("crossover_rate must lie in [0, 1]")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise AlgorithmError("mutation_rate must lie in [0, 1]")
+        if tournament < 1:
+            raise AlgorithmError("tournament must be >= 1")
+        self.population_size = population_size
+        self.generations = generations
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.tournament = tournament
+        self.seed_with_heuristics = seed_with_heuristics
+
+    def _deploy(self, context: ProblemContext) -> Deployment:
+        rng = context.rng
+        cost_model = context.cost_model
+        operations = context.workflow.operation_names
+        servers = context.network.server_names
+
+        def random_genome() -> tuple[str, ...]:
+            return tuple(rng.choice(servers) for _ in operations)
+
+        def genome_of(deployment: Deployment) -> tuple[str, ...]:
+            return tuple(deployment.server_of(name) for name in operations)
+
+        def fitness(genome: tuple[str, ...]) -> float:
+            return -cost_model.objective(
+                Deployment(dict(zip(operations, genome)))
+            )
+
+        population: list[tuple[str, ...]] = []
+        if self.seed_with_heuristics:
+            for algorithm in (FairLoad(), HeavyOpsLargeMsgs()):
+                population.append(
+                    genome_of(
+                        algorithm.deploy(
+                            context.workflow,
+                            context.network,
+                            cost_model=cost_model,
+                            rng=rng,
+                        )
+                    )
+                )
+        while len(population) < self.population_size:
+            population.append(random_genome())
+        scores = [fitness(genome) for genome in population]
+
+        def select() -> tuple[str, ...]:
+            best_index = rng.randrange(len(population))
+            for _ in range(self.tournament - 1):
+                challenger = rng.randrange(len(population))
+                if scores[challenger] > scores[best_index]:
+                    best_index = challenger
+            return population[best_index]
+
+        for _ in range(self.generations):
+            elite_index = max(range(len(population)), key=scores.__getitem__)
+            next_population = [population[elite_index]]
+            while len(next_population) < self.population_size:
+                parent_a = select()
+                if rng.random() < self.crossover_rate:
+                    parent_b = select()
+                    child = tuple(
+                        a if rng.random() < 0.5 else b
+                        for a, b in zip(parent_a, parent_b)
+                    )
+                else:
+                    child = parent_a
+                if len(servers) > 1:
+                    child = tuple(
+                        rng.choice(servers)
+                        if rng.random() < self.mutation_rate
+                        else gene
+                        for gene in child
+                    )
+                next_population.append(child)
+            population = next_population
+            scores = [fitness(genome) for genome in population]
+
+        best = max(range(len(population)), key=scores.__getitem__)
+        return Deployment(dict(zip(operations, population[best])))

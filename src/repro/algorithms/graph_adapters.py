@@ -1,0 +1,102 @@
+"""Shared machinery adapting the Line--Bus greedies to random graphs.
+
+Section 3.4 states that the Graph--Bus algorithms "are practically the
+same" as their Line--Bus counterparts, with two modifications:
+
+* an operation can receive (and send) more than one message, so the gain
+  function sums over *all* graph neighbours instead of the two line
+  neighbours of Fig. 5;
+* costs are weighted by execution probability, because XOR decision
+  nodes mean only a subset of the workflow runs per execution.
+
+Both adaptations are centralised here: the :func:`gain_of_operation_at_server`
+function (the generalised ``Gain_Of_Operation_At_Server`` of Fig. 5) and
+the :class:`ServerBudgets` helper that tracks each server's remaining
+``Ideal_Cycles`` budget, which every Fair-Load-family algorithm sorts and
+decrements step by step.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import ProblemContext
+from repro.core.mapping import Deployment
+
+__all__ = ["gain_of_operation_at_server", "ServerBudgets"]
+
+
+def gain_of_operation_at_server(
+    context: ProblemContext,
+    operation_name: str,
+    server_name: str,
+    mapping: Deployment,
+) -> float:
+    """Communication saved by deploying *operation_name* on *server_name*.
+
+    The gain is the number of (probability-weighted) message bits that
+    stay off the network because a workflow neighbour of the operation is
+    already mapped to the same server in *mapping* -- the paper's
+    ``Gain_Of_Operation_At_Server`` (Fig. 5), generalised from the line's
+    two neighbours to every predecessor and successor in the graph.
+    """
+    workflow = context.workflow
+    gain = 0.0
+    for predecessor in workflow.predecessors(operation_name):
+        if mapping.get(predecessor) == server_name:
+            gain += context.weighted_message_bits(predecessor, operation_name)
+    for successor in workflow.successors(operation_name):
+        if mapping.get(successor) == server_name:
+            gain += context.weighted_message_bits(operation_name, successor)
+    return gain
+
+
+class ServerBudgets:
+    """Remaining ``Ideal_Cycles`` per server, kept sorted descending.
+
+    The Fair-Load family repeatedly (1) reads the server with the most
+    remaining budget (or the set of servers tied for it), (2) charges an
+    assignment against a server, and (3) re-sorts. This helper keeps the
+    ordering stable and deterministic: ties between servers preserve the
+    network's insertion order.
+    """
+
+    def __init__(self, context: ProblemContext):
+        self._budget = context.initial_ideal_cycles()
+        # insertion order index makes sorting deterministic under ties
+        self._rank = {
+            name: i for i, name in enumerate(context.network.server_names)
+        }
+
+    def remaining(self, server_name: str) -> float:
+        """Remaining budget of one server (may go negative)."""
+        return self._budget[server_name]
+
+    def charge(self, server_name: str, cycles: float) -> None:
+        """Subtract *cycles* from the server's remaining budget."""
+        self._budget[server_name] -= cycles
+
+    def sorted_servers(self) -> list[str]:
+        """Server names ordered by remaining budget, descending."""
+        return sorted(
+            self._budget,
+            key=lambda name: (-self._budget[name], self._rank[name]),
+        )
+
+    def neediest(self) -> str:
+        """The server with the most remaining budget."""
+        return self.sorted_servers()[0]
+
+    def tied_with_neediest(self, tolerance: float = 0.0) -> list[str]:
+        """All servers whose remaining budget ties the maximum.
+
+        FLTR2 widens the candidate set to servers "with a tie ... with
+        respect to their distance from their ideal load".
+        """
+        ordered = self.sorted_servers()
+        top = self._budget[ordered[0]]
+        return [
+            name for name in ordered if top - self._budget[name] <= tolerance
+        ]
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of the remaining budgets."""
+        return dict(self._budget)

@@ -1,0 +1,167 @@
+"""Local-search refinement (an extension beyond the paper's greedies).
+
+Section 6 leaves deeper optimisation as future work; these two algorithms
+fill that gap and double as upper baselines in the ablation benchmarks.
+Both explore the *move* neighbourhood -- relocate one operation to another
+server -- over the cost model's scalar objective:
+
+* :class:`HillClimbing` -- steepest-descent until no move improves (or an
+  iteration cap is hit). Deterministic given its starting mapping.
+* :class:`SimulatedAnnealing` -- classic Metropolis acceptance with a
+  geometric cooling schedule; escapes the local optima hill climbing gets
+  stuck in, at the price of more evaluations.
+
+Each accepts any registered algorithm (or explicit deployment) as its
+starting point, so they compose naturally: ``HillClimbing(seed_algorithm=
+HeavyOpsLargeMsgs())`` polishes the paper's winner.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.base import (
+    DeploymentAlgorithm,
+    ProblemContext,
+    register_algorithm,
+)
+from repro.core.mapping import Deployment
+from repro.exceptions import AlgorithmError
+
+__all__ = ["HillClimbing", "SimulatedAnnealing"]
+
+
+class _RefinementBase(DeploymentAlgorithm):
+    """Shared starting-point handling for the refinement algorithms."""
+
+    def __init__(self, seed_algorithm: DeploymentAlgorithm | None = None):
+        self.seed_algorithm = seed_algorithm
+
+    def _starting_mapping(self, context: ProblemContext) -> Deployment:
+        if self.seed_algorithm is not None:
+            return self.seed_algorithm.deploy(
+                context.workflow,
+                context.network,
+                cost_model=context.cost_model,
+                rng=context.rng,
+            )
+        return Deployment.random(context.workflow, context.network, context.rng)
+
+
+@register_algorithm
+class HillClimbing(_RefinementBase):
+    """Steepest-descent over single-operation moves.
+
+    Parameters
+    ----------
+    seed_algorithm:
+        Algorithm producing the starting mapping (random when omitted).
+    max_iterations:
+        Upper bound on improvement rounds; each round scans the full
+        ``M x (N - 1)`` move neighbourhood.
+    """
+
+    name = "HillClimbing"
+
+    def __init__(
+        self,
+        seed_algorithm: DeploymentAlgorithm | None = None,
+        max_iterations: int = 1_000,
+    ):
+        super().__init__(seed_algorithm)
+        if max_iterations < 1:
+            raise AlgorithmError("max_iterations must be >= 1")
+        self.max_iterations = max_iterations
+
+    def _deploy(self, context: ProblemContext) -> Deployment:
+        cost_model = context.cost_model
+        current = self._starting_mapping(context)
+        current_value = cost_model.objective(current)
+        for _ in range(self.max_iterations):
+            best_move: tuple[str, str] | None = None
+            best_value = current_value
+            for operation in context.workflow.operation_names:
+                original = current.server_of(operation)
+                for server in context.network.server_names:
+                    if server == original:
+                        continue
+                    current.assign(operation, server)
+                    value = cost_model.objective(current)
+                    if value < best_value:
+                        best_value = value
+                        best_move = (operation, server)
+                current.assign(operation, original)
+            if best_move is None:
+                break
+            current.assign(*best_move)
+            current_value = best_value
+        return current
+
+
+@register_algorithm
+class SimulatedAnnealing(_RefinementBase):
+    """Metropolis search over single-operation moves.
+
+    Parameters
+    ----------
+    seed_algorithm:
+        Algorithm producing the starting mapping (random when omitted).
+    initial_temperature:
+        Starting temperature *relative to the starting objective value*
+        (an absolute temperature would be meaningless across instances
+        whose objectives differ by orders of magnitude).
+    cooling:
+        Geometric cooling factor per step, in ``(0, 1)``.
+    steps:
+        Number of proposed moves.
+    """
+
+    name = "SimulatedAnnealing"
+
+    def __init__(
+        self,
+        seed_algorithm: DeploymentAlgorithm | None = None,
+        initial_temperature: float = 0.5,
+        cooling: float = 0.995,
+        steps: int = 2_000,
+    ):
+        super().__init__(seed_algorithm)
+        if initial_temperature <= 0:
+            raise AlgorithmError("initial_temperature must be > 0")
+        if not 0.0 < cooling < 1.0:
+            raise AlgorithmError("cooling must lie strictly in (0, 1)")
+        if steps < 1:
+            raise AlgorithmError("steps must be >= 1")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.steps = steps
+
+    def _deploy(self, context: ProblemContext) -> Deployment:
+        cost_model = context.cost_model
+        rng = context.rng
+        operations = context.workflow.operation_names
+        servers = context.network.server_names
+        current = self._starting_mapping(context)
+        current_value = cost_model.objective(current)
+        best = current.copy()
+        best_value = current_value
+        if len(servers) == 1:
+            return best  # no move neighbourhood exists
+        temperature = self.initial_temperature * max(current_value, 1e-12)
+        for _ in range(self.steps):
+            operation = rng.choice(operations)
+            original = current.server_of(operation)
+            alternatives = [s for s in servers if s != original]
+            server = rng.choice(alternatives)
+            current.assign(operation, server)
+            value = cost_model.objective(current)
+            delta = value - current_value
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current_value = value
+                if value < best_value:
+                    best_value = value
+                    best = current.copy()
+            else:
+                current.assign(operation, original)
+            temperature *= self.cooling
+        return best

@@ -1,0 +1,158 @@
+"""Algorithm *Fair Load -- Merge Messages' Ends* (section 3.3, appendix).
+
+Extends FLTR2 with one extra test at deployment time: if assigning the
+chosen operation would leave a *large* message crossing the network, the
+planned assignment is cancelled and the operation is instead co-located
+with the other end of that message, "alleviating the need to send the
+message".
+
+A message is *large* when its size reaches the top decile of the
+workflow's message sizes -- the appendix passes
+``MsgSize(m_{(M-1)*0.1})`` of the descending-sorted message list as the
+``big_message_size`` threshold; the fraction is configurable. When both
+an incoming and an outgoing message of the operation are large, the one
+further above the threshold wins (the appendix's ``There_Is_Constraints``
+tie rule).
+
+As with the other tie-resolvers, unassigned neighbours still sit at
+their random initial servers, so "the server of the sender" is always
+defined -- faithful to the pseudo-code.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    DeploymentAlgorithm,
+    ProblemContext,
+    register_algorithm,
+)
+from repro.algorithms.fair_load import sorted_operations_by_cost
+from repro.algorithms.graph_adapters import ServerBudgets, gain_of_operation_at_server
+from repro.algorithms.tie_resolver import tied_prefix
+from repro.core.mapping import Deployment
+from repro.exceptions import AlgorithmError
+
+__all__ = ["FairLoadMergeMessages", "big_message_threshold"]
+
+
+def big_message_threshold(context: ProblemContext, big_fraction: float) -> float:
+    """The size (weighted bits) above which a message counts as large.
+
+    Sorts the workflow's (probability-weighted) message sizes descending
+    and returns the size at rank ``floor((count - 1) * big_fraction)`` --
+    i.e. roughly the top ``big_fraction`` of messages are large. Returns
+    ``inf`` for workflows without messages so nothing triggers.
+    """
+    sizes = sorted(
+        (
+            context.weighted_message_bits(*message.pair)
+            for message in context.workflow.messages
+        ),
+        reverse=True,
+    )
+    if not sizes:
+        return float("inf")
+    index = int((len(sizes) - 1) * big_fraction)
+    return sizes[index]
+
+
+@register_algorithm
+class FairLoadMergeMessages(DeploymentAlgorithm):
+    """FL-MergeMsgEnds: FLTR2 plus large-message co-location.
+
+    Parameters
+    ----------
+    big_fraction:
+        Fraction of the largest messages considered "large" (paper: 0.1).
+    random_start:
+        Initialise the mapping randomly (the paper's requirement, so a
+        constraining neighbour always has a server). ``False`` starts
+        empty; a constraint whose neighbour is still unplaced then falls
+        back to the gain-selected server -- the DESIGN.md ablation.
+    """
+
+    name = "FL-MergeMsgEnds"
+
+    def __init__(self, big_fraction: float = 0.1, random_start: bool = True):
+        if not 0.0 <= big_fraction <= 1.0:
+            raise AlgorithmError("big_fraction must lie in [0, 1]")
+        self.big_fraction = big_fraction
+        self.random_start = random_start
+
+    def _constraining_neighbor(
+        self, context: ProblemContext, operation: str, threshold: float
+    ) -> str | None:
+        """The neighbour whose shared large message forces co-location.
+
+        Generalises ``There_Is_Constraints``: the largest incoming
+        message plays the pseudo-code's ``left_message`` role, the
+        largest outgoing one the ``right_message`` role; whichever
+        exceeds the threshold by more decides. ``None`` when neither is
+        large.
+        """
+        workflow = context.workflow
+        best_in: tuple[float, str] | None = None
+        for predecessor in workflow.predecessors(operation):
+            size = context.weighted_message_bits(predecessor, operation)
+            if best_in is None or size > best_in[0]:
+                best_in = (size, predecessor)
+        best_out: tuple[float, str] | None = None
+        for successor in workflow.successors(operation):
+            size = context.weighted_message_bits(operation, successor)
+            if best_out is None or size > best_out[0]:
+                best_out = (size, successor)
+
+        in_large = best_in is not None and best_in[0] >= threshold
+        out_large = best_out is not None and best_out[0] >= threshold
+        if in_large and out_large:
+            # the message "furthest from the threshold value" wins; the
+            # appendix breaks the exact tie toward the left (incoming) end
+            return best_in[1] if best_in[0] >= best_out[0] else best_out[1]
+        if in_large:
+            return best_in[1]
+        if out_large:
+            return best_out[1]
+        return None
+
+    def _deploy(self, context: ProblemContext) -> Deployment:
+        budgets = ServerBudgets(context)
+        if self.random_start:
+            mapping = Deployment.random(
+                context.workflow, context.network, context.rng
+            )
+        else:
+            mapping = Deployment()
+        pending = sorted_operations_by_cost(context)
+        threshold = big_message_threshold(context, self.big_fraction)
+        while pending:
+            ordered_servers = budgets.sorted_servers()
+            tied_servers = tied_prefix(ordered_servers, budgets.remaining)
+            candidates = tied_prefix(pending, context.weighted_cycles)
+            best_operation = candidates[0]
+            best_server = tied_servers[0]
+            best_gain = gain_of_operation_at_server(
+                context, best_operation, best_server, mapping
+            )
+            for operation in candidates:
+                for server in tied_servers:
+                    if operation == best_operation and server == best_server:
+                        continue
+                    gain = gain_of_operation_at_server(
+                        context, operation, server, mapping
+                    )
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_operation = operation
+                        best_server = server
+
+            neighbor = self._constraining_neighbor(
+                context, best_operation, threshold
+            )
+            if neighbor is not None and mapping.get(neighbor) is not None:
+                target_server = mapping.server_of(neighbor)
+            else:
+                target_server = best_server
+            mapping.assign(best_operation, target_server)
+            budgets.charge(target_server, context.weighted_cycles(best_operation))
+            pending.remove(best_operation)
+        return mapping

@@ -1,0 +1,143 @@
+"""The tie-resolver extensions of Fair Load (section 3.3, Figs. 4-5).
+
+*Fair Load -- Tie Resolver for Cycles* (FLTR) keeps Fair Load's basic
+principle but, whenever several operations tie for the heaviest remaining
+cost, picks the one whose deployment to the chosen server saves the most
+communication (bytes kept off the bus), using the
+``Gain_Of_Operation_At_Server`` function of Fig. 5.
+
+*Fair Load -- Tie Resolver for Cycles and Servers* (FLTR2) also widens the
+server side: when several servers tie for the largest remaining
+``Ideal_Cycles`` budget, every (tied operation, tied server) combination
+is scored and the best gain wins.
+
+Both algorithms require the mapping to be *initialised randomly* -- the
+paper notes that otherwise the first gain evaluations would see no
+neighbours and return 0. Unassigned operations therefore sit at a random
+server until their real assignment replaces it, and gains are computed
+against this mixed mapping exactly as in the pseudo-code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.algorithms.base import (
+    DeploymentAlgorithm,
+    ProblemContext,
+    register_algorithm,
+)
+from repro.algorithms.fair_load import sorted_operations_by_cost
+from repro.algorithms.graph_adapters import ServerBudgets, gain_of_operation_at_server
+from repro.core.mapping import Deployment
+
+__all__ = ["FairLoadTieResolver", "FairLoadTieResolver2", "tied_prefix"]
+
+#: Relative tolerance when deciding that two costs/budgets "tie". The
+#: paper compares exact integers (cycles); floating-point weighting makes
+#: a small tolerance necessary.
+TIE_RELATIVE_TOLERANCE = 1e-9
+
+
+def tied_prefix(
+    ordered: Sequence[str],
+    key: Callable[[str], float],
+    tolerance: float = TIE_RELATIVE_TOLERANCE,
+) -> list[str]:
+    """Leading run of *ordered* whose key ties the first element's key."""
+    if not ordered:
+        return []
+    top = key(ordered[0])
+    scale = max(abs(top), 1.0)
+    return [
+        name for name in ordered if abs(key(name) - top) <= tolerance * scale
+    ]
+
+
+@register_algorithm
+class FairLoadTieResolver(DeploymentAlgorithm):
+    """FLTR: Fair Load with gain-based resolution of operation ties.
+
+    Parameters
+    ----------
+    random_start:
+        Initialise the mapping randomly, as the paper requires ("or
+        else, the first calls of function Gain_Of_Operation_At_Server
+        would not return any gain at all"). ``False`` starts from an
+        empty mapping instead -- gains then only see already-finalised
+        neighbours -- which is the ablation DESIGN.md calls out.
+    """
+
+    name = "FL-TieResolver"
+
+    def __init__(self, random_start: bool = True):
+        self.random_start = random_start
+
+    def _initial_mapping(self, context: ProblemContext) -> Deployment:
+        if self.random_start:
+            return Deployment.random(
+                context.workflow, context.network, context.rng
+            )
+        return Deployment()
+
+    def _deploy(self, context: ProblemContext) -> Deployment:
+        budgets = ServerBudgets(context)
+        mapping = self._initial_mapping(context)
+        pending = sorted_operations_by_cost(context)
+        while pending:
+            server = budgets.neediest()
+            candidates = tied_prefix(pending, context.weighted_cycles)
+            best_operation = candidates[0]
+            best_gain = gain_of_operation_at_server(
+                context, best_operation, server, mapping
+            )
+            for operation in candidates[1:]:
+                gain = gain_of_operation_at_server(
+                    context, operation, server, mapping
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best_operation = operation
+            mapping.assign(best_operation, server)
+            budgets.charge(server, context.weighted_cycles(best_operation))
+            pending.remove(best_operation)
+        return mapping
+
+
+@register_algorithm
+class FairLoadTieResolver2(FairLoadTieResolver):
+    """FLTR2: gain-based resolution of both operation and server ties.
+
+    Shares :class:`FairLoadTieResolver`'s ``random_start`` parameter.
+    """
+
+    name = "FL-TieResolver2"
+
+    def _deploy(self, context: ProblemContext) -> Deployment:
+        budgets = ServerBudgets(context)
+        mapping = self._initial_mapping(context)
+        pending = sorted_operations_by_cost(context)
+        while pending:
+            ordered_servers = budgets.sorted_servers()
+            tied_servers = tied_prefix(ordered_servers, budgets.remaining)
+            candidates = tied_prefix(pending, context.weighted_cycles)
+            best_operation = candidates[0]
+            best_server = tied_servers[0]
+            best_gain = gain_of_operation_at_server(
+                context, best_operation, best_server, mapping
+            )
+            for operation in candidates:
+                for server in tied_servers:
+                    if operation == best_operation and server == best_server:
+                        continue
+                    gain = gain_of_operation_at_server(
+                        context, operation, server, mapping
+                    )
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_operation = operation
+                        best_server = server
+            mapping.assign(best_operation, best_server)
+            budgets.charge(best_server, context.weighted_cycles(best_operation))
+            pending.remove(best_operation)
+        return mapping

@@ -1,0 +1,61 @@
+"""Core model: workflows, deployments, cost functions, constraints.
+
+This package implements the formal model of section 2.2 of the paper:
+
+* :mod:`repro.core.workflow` -- operations, messages and the workflow digraph
+  ``W(O, E)``, including decision nodes (``AND``/``OR``/``XOR`` and their
+  complements).
+* :mod:`repro.core.builder` -- a fluent builder that produces well-formed
+  workflows by construction.
+* :mod:`repro.core.validation` -- the well-formedness checker for arbitrary
+  digraphs.
+* :mod:`repro.core.probability` -- execution-probability propagation used by
+  the random-graph algorithms (section 3.4).
+* :mod:`repro.core.mapping` -- the deployment mapping ``O -> S``.
+* :mod:`repro.core.cost` -- the cost model of Table 1 (``Tproc``, ``Tcomm``,
+  ``Load``, ``TimePenalty``, ``Texecute``) and the weighted objective.
+* :mod:`repro.core.constraints` -- the optional user-constraint set ``C``.
+"""
+
+from repro.core.workflow import (
+    NodeKind,
+    Operation,
+    Message,
+    Workflow,
+)
+from repro.core.builder import WorkflowBuilder
+from repro.core.validation import (
+    WellFormednessReport,
+    check_well_formed,
+    assert_well_formed,
+)
+from repro.core.probability import execution_probabilities
+from repro.core.mapping import Deployment
+from repro.core.cost import CostModel, CostBreakdown
+from repro.core.constraints import (
+    Constraint,
+    MaxExecutionTime,
+    MaxServerLoad,
+    MaxTimePenalty,
+    ConstraintSet,
+)
+
+__all__ = [
+    "NodeKind",
+    "Operation",
+    "Message",
+    "Workflow",
+    "WorkflowBuilder",
+    "WellFormednessReport",
+    "check_well_formed",
+    "assert_well_formed",
+    "execution_probabilities",
+    "Deployment",
+    "CostModel",
+    "CostBreakdown",
+    "Constraint",
+    "MaxExecutionTime",
+    "MaxServerLoad",
+    "MaxTimePenalty",
+    "ConstraintSet",
+]

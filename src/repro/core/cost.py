@@ -1,0 +1,357 @@
+"""The cost model of Table 1.
+
+The paper evaluates a deployment along two antagonistic dimensions and, by
+default, sums them with equal weights:
+
+``Texecute``
+    Time to complete the workflow. Per-operation processing time is
+    ``Tproc(op) = C(op) / P(Server(op))``; per-message communication time
+    ``Tcomm`` sums ``MsgSize/Line_Speed`` plus propagation over the links
+    of the route between the two hosting servers (zero when co-located).
+    For a *line* workflow this is simply the sum of all processing and
+    communication times. For random graphs the evaluation is an
+    expected-time forward pass over the DAG honouring the decision-node
+    semantics: ``AND`` joins wait for every branch (max), ``OR`` joins
+    complete with the first branch (min), ``XOR`` joins take the
+    probability-weighted average of their branches -- the amortised cost
+    over many executions that section 3.4 calls for.
+
+``TimePenalty``
+    A translation of load-distribution fairness into time units:
+    the deviation of each server's load ``Load(s)`` (the time the server
+    spends processing its assigned operations) from the average server
+    load. The paper's formula is typeset ambiguously, so the deviation
+    statistic is configurable (:attr:`CostModel.penalty_mode`); the
+    default is the mean absolute deviation, which is in seconds and
+    stable across server counts. In a perfectly fair deployment every
+    server spends the same time and the penalty is 0.
+
+The model also exposes ``Ideal_Cycles(s) = Sum_Cycles * P(s)/Sum_Capacity``,
+the capacity-proportional cycle budget that every greedy algorithm in the
+paper starts from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.mapping import Deployment
+from repro.core.probability import execution_probabilities
+from repro.core.workflow import Message, NodeKind, Workflow
+from repro.exceptions import DeploymentError
+from repro.network.routing import Router
+from repro.network.topology import ServerNetwork
+
+__all__ = ["CostModel", "CostBreakdown", "PENALTY_MODES"]
+
+#: Supported fairness statistics for :attr:`CostModel.penalty_mode`:
+#: ``"mad"`` -- mean absolute deviation from the average load;
+#: ``"sum_abs"`` -- total absolute deviation;
+#: ``"max"`` -- worst single-server deviation;
+#: ``"std"`` -- population standard deviation of the loads.
+PENALTY_MODES = ("mad", "sum_abs", "max", "std")
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Everything the cost model knows about one deployment.
+
+    Attributes
+    ----------
+    execution_time:
+        ``Texecute`` in seconds (expected value for graphs with XOR).
+    time_penalty:
+        Fairness penalty in seconds (see :data:`PENALTY_MODES`).
+    objective:
+        ``execution_weight * execution_time + penalty_weight * time_penalty``.
+    loads:
+        ``Load(s)`` per server, in seconds (probability-weighted for
+        graph workflows).
+    communication_time:
+        Total ``Tcomm`` over all messages (probability-weighted), an
+        auxiliary diagnostic -- for non-linear workflows it is *not* a
+        term of ``execution_time`` because parallel branches overlap.
+    processing_time:
+        Total ``Tproc`` over all operations (probability-weighted).
+    response_times:
+        Per-operation (expected, branch-conditional) completion times --
+        the section 6 extension; empty when not computed.
+    """
+
+    execution_time: float
+    time_penalty: float
+    objective: float
+    loads: Mapping[str, float] = field(default_factory=dict)
+    communication_time: float = 0.0
+    processing_time: float = 0.0
+    response_times: Mapping[str, float] = field(default_factory=dict)
+
+    def dominates(self, other: "CostBreakdown") -> bool:
+        """Pareto dominance: at least as good on both axes, better on one."""
+        not_worse = (
+            self.execution_time <= other.execution_time
+            and self.time_penalty <= other.time_penalty
+        )
+        strictly_better = (
+            self.execution_time < other.execution_time
+            or self.time_penalty < other.time_penalty
+        )
+        return not_worse and strictly_better
+
+
+class CostModel:
+    """Evaluate deployments of one workflow over one network.
+
+    Parameters
+    ----------
+    workflow, network:
+        The problem instance. The workflow must be a DAG; the network must
+        be connected.
+    execution_weight, penalty_weight:
+        Coefficients of the scalar objective. The paper's default is an
+        equally weighted sum.
+    penalty_mode:
+        Fairness statistic; one of :data:`PENALTY_MODES`.
+    use_probabilities:
+        Weight costs by execution probabilities (section 3.4). ``None``
+        (default) auto-enables this exactly when the workflow contains an
+        ``XOR`` split.
+    router:
+        Optional pre-built :class:`~repro.network.routing.Router` to share
+        its cache across cost models.
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        network: ServerNetwork,
+        execution_weight: float = 0.5,
+        penalty_weight: float = 0.5,
+        penalty_mode: str = "mad",
+        use_probabilities: bool | None = None,
+        router: Router | None = None,
+    ):
+        if penalty_mode not in PENALTY_MODES:
+            raise DeploymentError(
+                f"unknown penalty mode {penalty_mode!r}; expected one of "
+                f"{PENALTY_MODES}"
+            )
+        if execution_weight < 0 or penalty_weight < 0:
+            raise DeploymentError("objective weights must be >= 0")
+        network.require_connected()
+        if not workflow.is_dag():
+            raise DeploymentError(
+                f"workflow {workflow.name!r} contains a cycle; the cost "
+                f"model requires a DAG"
+            )
+        self.workflow = workflow
+        self.network = network
+        self.execution_weight = execution_weight
+        self.penalty_weight = penalty_weight
+        self.penalty_mode = penalty_mode
+        self.router = router or Router(network)
+
+        has_xor = any(op.kind is NodeKind.XOR_SPLIT for op in workflow)
+        self.use_probabilities = (
+            has_xor if use_probabilities is None else use_probabilities
+        )
+        if self.use_probabilities:
+            workflow.validate_xor_probabilities()
+            self._node_prob = execution_probabilities(workflow)
+        else:
+            self._node_prob = {name: 1.0 for name in workflow.operation_names}
+        self._order = workflow.topological_order()
+
+    # ------------------------------------------------------------------
+    # Table 1 primitives
+    # ------------------------------------------------------------------
+    def node_probability(self, operation_name: str) -> float:
+        """Execution probability of an operation (1 without XOR)."""
+        return self._node_prob[operation_name]
+
+    def message_probability(self, message: Message) -> float:
+        """Unconditional probability that *message* is sent."""
+        return self._node_prob[message.source] * message.probability
+
+    def tproc(self, operation_name: str, deployment: Deployment) -> float:
+        """``Tproc(op) = C(op) / P(Server(op))`` in seconds (unweighted)."""
+        operation = self.workflow.operation(operation_name)
+        server = self.network.server(deployment.server_of(operation_name))
+        return operation.cycles / server.power_hz
+
+    def tcomm(self, message: Message, deployment: Deployment) -> float:
+        """``Tcomm`` of one message in seconds (unweighted).
+
+        Zero when both endpoints share a server.
+        """
+        source = deployment.server_of(message.source)
+        target = deployment.server_of(message.target)
+        return self.router.transmission_time(source, target, message.size_bits)
+
+    def ideal_cycles(self, server_name: str) -> float:
+        """``Ideal_Cycles(s) = Sum_Cycles * P(s) / Sum_Capacity``.
+
+        The capacity-proportional cycle budget used by every greedy
+        algorithm. Probability-weighted cycles are used for graph
+        workflows so that rarely executed branches count less.
+        """
+        server = self.network.server(server_name)
+        total = self.total_weighted_cycles()
+        return total * server.power_hz / self.network.total_power_hz
+
+    def total_weighted_cycles(self) -> float:
+        """``Sum_Cycles``, probability-weighted when applicable."""
+        return sum(
+            op.cycles * self._node_prob[op.name] for op in self.workflow
+        )
+
+    # ------------------------------------------------------------------
+    # loads and fairness
+    # ------------------------------------------------------------------
+    def load(self, server_name: str, deployment: Deployment) -> float:
+        """``Load(s)``: seconds *server_name* spends on its operations."""
+        server = self.network.server(server_name)
+        cycles = sum(
+            self.workflow.operation(op).cycles * self._node_prob[op]
+            for op in deployment.operations_on(server_name)
+            if op in self.workflow
+        )
+        return cycles / server.power_hz
+
+    def loads(self, deployment: Deployment) -> dict[str, float]:
+        """``Load(s)`` for every server of the network (0 when unused)."""
+        deployment.validate(self.workflow, self.network)
+        totals: dict[str, float] = {
+            name: 0.0 for name in self.network.server_names
+        }
+        for operation in self.workflow:
+            server = deployment.server_of(operation.name)
+            totals[server] += operation.cycles * self._node_prob[operation.name]
+        return {
+            name: cycles / self.network.server(name).power_hz
+            for name, cycles in totals.items()
+        }
+
+    def time_penalty(self, deployment: Deployment) -> float:
+        """The fairness penalty in seconds (see :data:`PENALTY_MODES`)."""
+        return self._penalty_from_loads(self.loads(deployment))
+
+    def _penalty_from_loads(self, loads: Mapping[str, float]) -> float:
+        values = list(loads.values())
+        if not values:
+            return 0.0
+        mean = sum(values) / len(values)
+        deviations = [abs(v - mean) for v in values]
+        if self.penalty_mode == "mad":
+            return sum(deviations) / len(values)
+        if self.penalty_mode == "sum_abs":
+            return sum(deviations)
+        if self.penalty_mode == "max":
+            return max(deviations)
+        # std
+        return math.sqrt(sum(d * d for d in deviations) / len(values))
+
+    # ------------------------------------------------------------------
+    # execution time
+    # ------------------------------------------------------------------
+    def execution_time(self, deployment: Deployment) -> float:
+        """``Texecute``: (expected) completion time of the workflow.
+
+        A forward pass in topological order. ``ready(n)`` aggregates the
+        arrival times ``finish(pred) + Tcomm(pred -> n)`` of the incoming
+        messages: max for ``AND`` joins and plain nodes, min for ``OR``
+        joins, probability-weighted average for ``XOR`` joins (expected
+        time over branch choices). ``finish(n) = ready(n) + Tproc(n)``,
+        and the result is the latest finish among exit operations.
+
+        For a line workflow this reduces exactly to the paper's
+        ``sum(Tproc) + sum(Tcomm)``.
+        """
+        finish = self.response_times(deployment)
+        return max(finish[name] for name in self.workflow.exits)
+
+    def response_times(self, deployment: Deployment) -> dict[str, float]:
+        """(Expected) completion time of every individual operation.
+
+        The per-operation view of the :meth:`execution_time` forward
+        pass -- section 6 names "the response time of individual
+        operations" as a cost-model extension, and this is it: the time
+        at which each operation's result is available, conditional on
+        its region executing (XOR branches report their conditional
+        finish time, which is what a per-operation SLA cares about).
+        """
+        deployment.validate(self.workflow, self.network)
+        finish: dict[str, float] = {}
+        for name in self._order:
+            operation = self.workflow.operation(name)
+            incoming = self.workflow.incoming(name)
+            if not incoming:
+                ready = 0.0
+            else:
+                arrivals = [
+                    finish[m.source] + self.tcomm(m, deployment)
+                    for m in incoming
+                ]
+                if operation.kind is NodeKind.XOR_JOIN:
+                    weights = [
+                        self.message_probability(m) for m in incoming
+                    ]
+                    total_weight = sum(weights)
+                    if total_weight <= 0:
+                        ready = max(arrivals)
+                    else:
+                        ready = (
+                            sum(w * a for w, a in zip(weights, arrivals))
+                            / total_weight
+                        )
+                elif operation.kind is NodeKind.OR_JOIN:
+                    ready = min(arrivals)
+                else:
+                    ready = max(arrivals)
+            finish[name] = ready + self.tproc(name, deployment)
+        return finish
+
+    # ------------------------------------------------------------------
+    # aggregate diagnostics and the objective
+    # ------------------------------------------------------------------
+    def total_communication_time(self, deployment: Deployment) -> float:
+        """Probability-weighted sum of ``Tcomm`` over all messages."""
+        return sum(
+            self.message_probability(m) * self.tcomm(m, deployment)
+            for m in self.workflow.messages
+        )
+
+    def total_processing_time(self, deployment: Deployment) -> float:
+        """Probability-weighted sum of ``Tproc`` over all operations."""
+        return sum(
+            self._node_prob[op.name] * self.tproc(op.name, deployment)
+            for op in self.workflow
+        )
+
+    def objective(self, deployment: Deployment) -> float:
+        """The scalar objective: weighted sum of the two metrics."""
+        return (
+            self.execution_weight * self.execution_time(deployment)
+            + self.penalty_weight * self.time_penalty(deployment)
+        )
+
+    def evaluate(self, deployment: Deployment) -> CostBreakdown:
+        """Full :class:`CostBreakdown` for *deployment*."""
+        loads = self.loads(deployment)
+        response_times = self.response_times(deployment)
+        execution = max(response_times[name] for name in self.workflow.exits)
+        penalty = self._penalty_from_loads(loads)
+        return CostBreakdown(
+            execution_time=execution,
+            time_penalty=penalty,
+            objective=(
+                self.execution_weight * execution
+                + self.penalty_weight * penalty
+            ),
+            loads=loads,
+            communication_time=self.total_communication_time(deployment),
+            processing_time=self.total_processing_time(deployment),
+            response_times=response_times,
+        )

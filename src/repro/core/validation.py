@@ -1,0 +1,200 @@
+"""Well-formedness checking for workflows (section 2.2 of the paper).
+
+A workflow is *well-formed* when decision nodes behave like balanced
+parentheses: for every split node ``a`` there exists a complement node
+``/a`` of the matching kind, and **all** paths stemming from ``a`` pass
+through ``/a``. Regions may nest but must not overlap.
+
+The checker formalises this with graph dominance:
+
+* the *match* of a split is the nearest **post-dominating** join node
+  (every path from the split to the workflow exit passes through it);
+* symmetrically, the matched split must be the nearest **dominating**
+  split of that join;
+* the match's kind must be the complement of the split's kind, and the
+  split/join matching must be a bijection.
+
+These three conditions are equivalent to the parenthesis rule on DAGs and
+are what the workload generator guarantees by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.workflow import Workflow
+from repro.exceptions import MalformedWorkflowError
+
+__all__ = ["WellFormednessReport", "check_well_formed", "assert_well_formed"]
+
+_VIRTUAL_SOURCE = "__repro_virtual_source__"
+_VIRTUAL_SINK = "__repro_virtual_sink__"
+
+
+@dataclass
+class WellFormednessReport:
+    """Outcome of a well-formedness check.
+
+    Attributes
+    ----------
+    ok:
+        True when the workflow satisfies every rule.
+    problems:
+        Human-readable descriptions of each violation found.
+    matches:
+        Split-name to join-name mapping discovered for well-formed regions.
+        Populated even on failure for the regions that did match.
+    """
+
+    ok: bool
+    problems: list[str] = field(default_factory=list)
+    matches: dict[str, str] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _augmented(graph: nx.DiGraph, entries, exits) -> nx.DiGraph:
+    """Copy *graph* with a virtual source/sink tying entries and exits."""
+    augmented = graph.copy()
+    augmented.add_node(_VIRTUAL_SOURCE)
+    augmented.add_node(_VIRTUAL_SINK)
+    for entry in entries:
+        augmented.add_edge(_VIRTUAL_SOURCE, entry)
+    for exit_ in exits:
+        augmented.add_edge(exit_, _VIRTUAL_SINK)
+    return augmented
+
+
+def check_well_formed(workflow: Workflow) -> WellFormednessReport:
+    """Check *workflow* against the paper's well-formedness rules.
+
+    Rules checked, in order:
+
+    1. the workflow is non-empty and acyclic;
+    2. XOR branch probabilities are consistent (sum to 1 per split);
+    3. every split node has a nearest post-dominating join of the
+       complementary kind;
+    4. that join's nearest dominating split is the split itself;
+    5. splits and joins match one-to-one (no orphan joins).
+
+    Returns a :class:`WellFormednessReport`; never raises for structural
+    problems (use :func:`assert_well_formed` for the raising variant).
+    """
+    report = WellFormednessReport(ok=True)
+
+    if len(workflow) == 0:
+        report.ok = False
+        report.problems.append("workflow is empty")
+        return report
+
+    raw_graph = nx.DiGraph(workflow.graph)
+    if not nx.is_directed_acyclic_graph(raw_graph):
+        report.ok = False
+        report.problems.append("workflow contains a cycle")
+        return report
+
+    try:
+        workflow.validate_xor_probabilities()
+    except Exception as exc:  # WorkflowError carries the detail
+        report.ok = False
+        report.problems.append(str(exc))
+
+    splits = [op for op in workflow if op.kind.is_split]
+    joins = [op for op in workflow if op.kind.is_join]
+
+    if not splits and not joins:
+        return report  # purely operational workflows are trivially well-formed
+
+    forward = _augmented(raw_graph, workflow.entries, workflow.exits)
+    backward = forward.reverse(copy=True)
+
+    idom = nx.immediate_dominators(forward, _VIRTUAL_SOURCE)
+    ipdom = nx.immediate_dominators(backward, _VIRTUAL_SINK)
+
+    join_kinds = {op.name: op.kind for op in joins}
+    split_kinds = {op.name: op.kind for op in splits}
+
+    def nearest_postdominating_join(name: str) -> str | None:
+        node = ipdom.get(name)
+        while node is not None and node != _VIRTUAL_SINK:
+            if node in join_kinds:
+                return node
+            nxt = ipdom.get(node)
+            node = None if nxt == node else nxt
+        return None
+
+    def nearest_dominating_split(name: str) -> str | None:
+        node = idom.get(name)
+        while node is not None and node != _VIRTUAL_SOURCE:
+            if node in split_kinds:
+                return node
+            nxt = idom.get(node)
+            node = None if nxt == node else nxt
+        return None
+
+    matched_joins: dict[str, str] = {}
+    for split in splits:
+        join_name = nearest_postdominating_join(split.name)
+        if join_name is None:
+            report.ok = False
+            report.problems.append(
+                f"split {split.name!r} ({split.kind.value}) has no "
+                f"post-dominating join: some path escapes its region"
+            )
+            continue
+        expected = split.kind.complement
+        actual = join_kinds[join_name]
+        if actual is not expected:
+            report.ok = False
+            report.problems.append(
+                f"split {split.name!r} ({split.kind.value}) is closed by "
+                f"{join_name!r} ({actual.value}); expected a "
+                f"{expected.value} node"
+            )
+            continue
+        back = nearest_dominating_split(join_name)
+        if back != split.name:
+            report.ok = False
+            report.problems.append(
+                f"join {join_name!r} is dominated by split {back!r}, not by "
+                f"its matched split {split.name!r}: regions overlap"
+            )
+            continue
+        if join_name in matched_joins:
+            report.ok = False
+            report.problems.append(
+                f"join {join_name!r} closes both {matched_joins[join_name]!r} "
+                f"and {split.name!r}"
+            )
+            continue
+        matched_joins[join_name] = split.name
+        report.matches[split.name] = join_name
+
+    for join in joins:
+        if join.name not in matched_joins:
+            report.ok = False
+            report.problems.append(
+                f"join {join.name!r} ({join.kind.value}) matches no split"
+            )
+
+    return report
+
+
+def assert_well_formed(workflow: Workflow) -> WellFormednessReport:
+    """Like :func:`check_well_formed` but raising on failure.
+
+    Raises
+    ------
+    MalformedWorkflowError
+        Carrying every problem found, one per line.
+    """
+    report = check_well_formed(workflow)
+    if not report.ok:
+        raise MalformedWorkflowError(
+            f"workflow {workflow.name!r} is malformed:\n  "
+            + "\n  ".join(report.problems)
+        )
+    return report

@@ -1,0 +1,134 @@
+"""The Class A / B / C experiment definitions of section 4.1.
+
+* **Class A** varies link capacity and message sizes;
+* **Class B** varies server CPU power and workflow workload;
+* **Class C** varies everything (Table 6); only Class C results are
+  reported in the paper, per bus speed -- the quality numbers quote the
+  1 Mbps and 100 Mbps buses, which is :data:`FIG6_BUS_SPEEDS`.
+
+Each function returns a list of :class:`ExperimentConfig` forming a
+sweep; feed them to :meth:`ExperimentRunner.run_many` or
+:meth:`ExperimentRunner.sweep_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.parameters import (
+    ClassAParameters,
+    ClassBParameters,
+    ClassCParameters,
+    HEAVY_OPERATION_CYCLES,
+    MEDIUM_OPERATION_CYCLES,
+    SIMPLE_OPERATION_CYCLES,
+)
+
+__all__ = [
+    "FIG6_BUS_SPEEDS",
+    "class_a_configs",
+    "class_b_configs",
+    "class_c_configs",
+]
+
+#: Bus speeds the paper quotes quality numbers for (1 Mbps and 100 Mbps).
+FIG6_BUS_SPEEDS = (1e6, 100e6)
+
+#: Class A sweep: link capacities from a congested 1 Mbps bus to gigabit.
+CLASS_A_SPEEDS = (1e6, 10e6, 100e6, 1000e6)
+#: Class A sweep: SOAP message scales.
+CLASS_A_MESSAGE_SCALES = ("simple", "medium", "complex", "mixed")
+
+#: Class B sweep: section 4.1 operation cost anchors.
+CLASS_B_CYCLES = (
+    SIMPLE_OPERATION_CYCLES,
+    MEDIUM_OPERATION_CYCLES,
+    HEAVY_OPERATION_CYCLES,
+)
+#: Class B sweep: server powers around the Table 6 values.
+CLASS_B_POWERS = (1e9, 2e9, 3e9)
+
+
+def class_a_configs(
+    workflow_kind: str = "line",
+    num_operations: int = 19,
+    num_servers: int = 5,
+    repetitions: int = 10,
+    seed: int = 101,
+    speeds: Sequence[float] = CLASS_A_SPEEDS,
+    message_scales: Sequence[str] = CLASS_A_MESSAGE_SCALES,
+) -> list[ExperimentConfig]:
+    """Class A: one config per (link speed, message scale) pair."""
+    configs = []
+    for speed in speeds:
+        for scale in message_scales:
+            parameters = ClassAParameters.sweep_point(speed, scale)
+            configs.append(
+                ExperimentConfig(
+                    workflow_kind=workflow_kind,
+                    num_operations=num_operations,
+                    num_servers=num_servers,
+                    parameters=parameters.as_class_c(),
+                    bus_speed_bps=speed,
+                    repetitions=repetitions,
+                    seed=seed,
+                    label=f"A: {speed / 1e6:g}Mbps {scale} msgs",
+                )
+            )
+    return configs
+
+
+def class_b_configs(
+    workflow_kind: str = "line",
+    num_operations: int = 19,
+    num_servers: int = 5,
+    repetitions: int = 10,
+    seed: int = 202,
+    cycles: Sequence[float] = CLASS_B_CYCLES,
+    powers: Sequence[float] = CLASS_B_POWERS,
+) -> list[ExperimentConfig]:
+    """Class B: one config per (operation cost, server power) pair."""
+    configs = []
+    for operation_cycles in cycles:
+        for power in powers:
+            parameters = ClassBParameters.sweep_point(operation_cycles, power)
+            configs.append(
+                ExperimentConfig(
+                    workflow_kind=workflow_kind,
+                    num_operations=num_operations,
+                    num_servers=num_servers,
+                    parameters=parameters.as_class_c(),
+                    repetitions=repetitions,
+                    seed=seed,
+                    label=(
+                        f"B: {operation_cycles / 1e6:g}Mcycles "
+                        f"{power / 1e9:g}GHz"
+                    ),
+                )
+            )
+    return configs
+
+
+def class_c_configs(
+    workflow_kind: str = "line",
+    num_operations: int = 19,
+    num_servers: int = 5,
+    repetitions: int = 10,
+    seed: int = 303,
+    bus_speeds: Sequence[float] = FIG6_BUS_SPEEDS,
+) -> list[ExperimentConfig]:
+    """Class C: Table 6 mixtures, one config per reported bus speed."""
+    return [
+        ExperimentConfig(
+            workflow_kind=workflow_kind,
+            num_operations=num_operations,
+            num_servers=num_servers,
+            parameters=ClassCParameters.paper(),
+            bus_speed_bps=speed,
+            repetitions=repetitions,
+            seed=seed,
+            label=f"C: {workflow_kind} {speed / 1e6:g}Mbps bus",
+        )
+        for speed in bus_speeds
+    ]

@@ -1,0 +1,191 @@
+"""One-call reproduction of every figure/table of the paper's evaluation.
+
+The benchmark harness (``pytest benchmarks/``) times the experiments;
+this module is the *library* entry point for the same data: call
+:func:`reproduce_all` (or the per-figure functions) and get the tables
+written to a directory -- also exposed as ``python -m repro figures``.
+
+Two scales:
+
+* ``"quick"`` -- minutes-of-seconds defaults (10 repetitions, 10x2000
+  quality sampling), good for CI and exploration;
+* ``"paper"`` -- the paper's protocol sizes (50 experiments x 32 000
+  samples for the quality assessment), which takes tens of minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.exceptions import ExperimentError
+from repro.experiments.classes import FIG6_BUS_SPEEDS
+from repro.experiments.pareto import weight_sensitivity_table
+from repro.experiments.quality import QualityProtocol
+from repro.experiments.reporting import ascii_scatter, scatter_table
+from repro.experiments.runner import (
+    DEFAULT_ALGORITHMS,
+    ExperimentConfig,
+    ExperimentRunner,
+)
+
+__all__ = ["ReproductionScale", "reproduce_all", "FIGURES"]
+
+
+@dataclass(frozen=True)
+class ReproductionScale:
+    """Protocol sizes for one reproduction run."""
+
+    repetitions: int
+    quality_experiments: int
+    quality_samples: int
+
+    @classmethod
+    def named(cls, name: str) -> "ReproductionScale":
+        """``"quick"`` or ``"paper"``."""
+        scales = {
+            "quick": cls(
+                repetitions=10, quality_experiments=10, quality_samples=2_000
+            ),
+            "paper": cls(
+                repetitions=50,
+                quality_experiments=50,
+                quality_samples=32_000,
+            ),
+        }
+        if name not in scales:
+            raise ExperimentError(
+                f"unknown scale {name!r}; expected one of {sorted(scales)}"
+            )
+        return scales[name]
+
+
+def _write(output_dir: Path, name: str, *chunks) -> Path:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"{name}.txt"
+    path.write_text("\n\n".join(str(chunk) for chunk in chunks) + "\n")
+    return path
+
+
+def fig6(output_dir: Path, scale: ReproductionScale) -> list[Path]:
+    """Fig. 6: Line--Bus suite per bus speed, plus weight sensitivity."""
+    runner = ExperimentRunner(DEFAULT_ALGORITHMS + ("Random",))
+    paths = []
+    for speed in FIG6_BUS_SPEEDS:
+        config = ExperimentConfig(
+            workflow_kind="line",
+            num_operations=19,
+            num_servers=5,
+            bus_speed_bps=speed,
+            repetitions=scale.repetitions,
+            seed=42,
+        )
+        result = runner.run(config)
+        points = result.scatter_points()
+        paths.append(
+            _write(
+                output_dir,
+                f"fig6_line_bus_{speed / 1e6:g}Mbps",
+                result.summary_table(),
+                scatter_table(points),
+                ascii_scatter(points, title=config.describe()),
+            )
+        )
+        if speed == FIG6_BUS_SPEEDS[0]:
+            paths.append(
+                _write(
+                    output_dir,
+                    "fig6_weight_sensitivity",
+                    weight_sensitivity_table(result),
+                )
+            )
+    return paths
+
+
+def fig7_fig8(output_dir: Path, scale: ReproductionScale) -> list[Path]:
+    """Figs. 7-8: Graph--Bus suite, pooled and per structure."""
+    runner = ExperimentRunner(DEFAULT_ALGORITHMS)
+    paths = []
+    for speed in FIG6_BUS_SPEEDS:
+        pooled: dict[str, list[tuple[float, float]]] = {}
+        for kind in ("bushy", "lengthy", "hybrid"):
+            config = ExperimentConfig(
+                workflow_kind=kind,
+                num_operations=19,
+                num_servers=5,
+                bus_speed_bps=speed,
+                repetitions=scale.repetitions,
+                seed=99,
+            )
+            result = runner.run(config)
+            for name, points in result.scatter_points().items():
+                pooled.setdefault(name, []).extend(points)
+            paths.append(
+                _write(
+                    output_dir,
+                    f"fig8_{kind}_{speed / 1e6:g}Mbps",
+                    result.summary_table(),
+                )
+            )
+        paths.append(
+            _write(
+                output_dir,
+                f"fig7_graph_bus_{speed / 1e6:g}Mbps",
+                scatter_table(pooled),
+                ascii_scatter(pooled, title=f"graph/bus {speed / 1e6:g}Mbps"),
+            )
+        )
+    return paths
+
+
+def quality_tables(output_dir: Path, scale: ReproductionScale) -> list[Path]:
+    """The section 4.2 deviation-from-sampled-best tables."""
+    protocol = QualityProtocol(
+        algorithms=DEFAULT_ALGORITHMS,
+        experiments=scale.quality_experiments,
+        samples=scale.quality_samples,
+    )
+    paths = []
+    for kind, seed in (("line", 55), ("hybrid", 56)):
+        for speed in FIG6_BUS_SPEEDS:
+            config = ExperimentConfig(
+                workflow_kind=kind,
+                num_operations=19,
+                num_servers=5,
+                bus_speed_bps=speed,
+                repetitions=1,
+                seed=seed,
+            )
+            paths.append(
+                _write(
+                    output_dir,
+                    f"quality_{kind}_{speed / 1e6:g}Mbps",
+                    protocol.run(config).table(),
+                )
+            )
+    return paths
+
+
+#: Every reproduction step, by name (used by the CLI's ``figures``).
+FIGURES: dict[str, Callable[[Path, ReproductionScale], list[Path]]] = {
+    "fig6": fig6,
+    "fig7_fig8": fig7_fig8,
+    "quality": quality_tables,
+}
+
+
+def reproduce_all(
+    output_dir: str | Path, scale: str | ReproductionScale = "quick"
+) -> list[Path]:
+    """Write every reproduced figure/table under *output_dir*.
+
+    Returns the written paths, in generation order.
+    """
+    if isinstance(scale, str):
+        scale = ReproductionScale.named(scale)
+    output = Path(output_dir)
+    paths: list[Path] = []
+    for producer in FIGURES.values():
+        paths.extend(producer(output, scale))
+    return paths

@@ -1,0 +1,108 @@
+"""Joint deployment of multiple workflows (section 6 future work).
+
+"Future extensions of this work involve the case of multiple workflows
+(instead of just a single one)." This module provides that extension in
+the simplest faithful way: the workflows are combined into one disjoint-
+union DAG (each original workflow becomes an independent weakly-connected
+component, its operation names prefixed to stay unique) and any
+registered deployment algorithm runs on the union.
+
+Semantics carried by the existing cost model:
+
+* ``Load(s)`` naturally accumulates across workflows -- fairness is then
+  judged over the *combined* load, which is exactly what a provider
+  hosting several workflows cares about;
+* ``Texecute`` of the union is the max over the component workflows
+  (they start together and run concurrently), since the forward pass
+  takes the latest finish over all exit operations.
+
+Line-topology-specific algorithms (``Line-Line``) do not apply to a
+union (it is not a line); the Fair-Load family and HOLM work unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Sequence
+
+from repro.algorithms.base import DeploymentAlgorithm
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.core.workflow import Workflow
+from repro.exceptions import ExperimentError
+from repro.network.topology import ServerNetwork
+
+__all__ = ["combine_workflows", "split_deployment", "deploy_workflows"]
+
+
+def combine_workflows(
+    workflows: Sequence[Workflow], name: str = "combined"
+) -> Workflow:
+    """Disjoint union of *workflows* with prefixed operation names.
+
+    Operation ``op`` of the i-th workflow (0-based) becomes
+    ``w{i}.{op}``. Messages are copied with the same renaming; structure
+    and probabilities are untouched.
+    """
+    if not workflows:
+        raise ExperimentError("at least one workflow is required")
+    combined = Workflow(name)
+    for index, workflow in enumerate(workflows):
+        prefix = f"w{index}."
+        for operation in workflow.operations:
+            combined.add_operation(
+                replace(operation, name=prefix + operation.name)
+            )
+        for message in workflow.messages:
+            combined.add_transition(
+                replace(
+                    message,
+                    source=prefix + message.source,
+                    target=prefix + message.target,
+                )
+            )
+    return combined
+
+
+def split_deployment(
+    combined: Deployment, workflows: Sequence[Workflow]
+) -> list[Deployment]:
+    """Project a union deployment back onto the original workflows."""
+    deployments = []
+    for index, workflow in enumerate(workflows):
+        prefix = f"w{index}."
+        deployments.append(
+            Deployment(
+                {
+                    name: combined.server_of(prefix + name)
+                    for name in workflow.operation_names
+                }
+            )
+        )
+    return deployments
+
+
+def deploy_workflows(
+    workflows: Sequence[Workflow],
+    network: ServerNetwork,
+    algorithm: DeploymentAlgorithm,
+    rng=None,
+) -> tuple[list[Deployment], Mapping[str, float]]:
+    """Deploy several workflows jointly; returns per-workflow mappings.
+
+    Returns
+    -------
+    (deployments, loads):
+        One :class:`Deployment` per input workflow (in order), plus the
+        combined per-server load in seconds, so callers can check that
+        fairness holds across the whole hosted portfolio.
+    """
+    combined = combine_workflows(workflows)
+    cost_model = CostModel(combined, network)
+    deployment = algorithm.deploy(
+        combined, network, cost_model=cost_model, rng=rng
+    )
+    return (
+        split_deployment(deployment, workflows),
+        cost_model.loads(deployment),
+    )

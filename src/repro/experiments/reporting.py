@@ -1,0 +1,172 @@
+"""Plain-text tables and CSV series for experiment output.
+
+The paper's figures are scatter plots of (execution time, time penalty)
+per algorithm; without a plotting dependency we report the same data as
+aligned text tables and CSV, which is what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "TextTable",
+    "scatter_table",
+    "ascii_scatter",
+    "format_seconds",
+    "format_percent",
+]
+
+
+def format_seconds(value: float) -> str:
+    """Human-scaled seconds: picks ms/us when small, fixed precision."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1.0:
+        return f"{value:.3f} s"
+    if magnitude >= 1e-3:
+        return f"{value * 1e3:.3f} ms"
+    if magnitude >= 1e-6:
+        return f"{value * 1e6:.3f} us"
+    return f"{value * 1e9:.3f} ns"
+
+
+def format_percent(fraction: float) -> str:
+    """0.029 -> ``2.9%``."""
+    return f"{fraction * 100:.1f}%"
+
+
+class TextTable:
+    """A minimal aligned text table with CSV export.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    title:
+        Optional table caption printed above the header row.
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.headers = list(headers)
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row; cells are stringified."""
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} "
+                f"columns"
+            )
+        self._rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> list[list[str]]:
+        """A copy of the current rows."""
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """The aligned text rendering."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths))
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append(line(["-" * w for w in widths]))
+        parts.extend(line(row) for row in self._rows)
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """Comma-separated export (no quoting; cells must be simple)."""
+        rows = [",".join(self.headers)]
+        rows.extend(",".join(row) for row in self._rows)
+        return "\n".join(rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def scatter_table(
+    points_per_algorithm: Mapping[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+) -> TextTable:
+    """Tabulate figure-style scatter data.
+
+    *points_per_algorithm* maps algorithm name to its
+    ``(execution_time, time_penalty)`` points; one output row per point,
+    in seconds, mirroring the axes of Figs. 6-8.
+    """
+    table = TextTable(
+        ["algorithm", "execution_time_s", "time_penalty_s"], title=title
+    )
+    for name, points in points_per_algorithm.items():
+        for execution, penalty in points:
+            table.add_row([name, f"{execution:.6g}", f"{penalty:.6g}"])
+    return table
+
+
+def ascii_scatter(
+    points_per_algorithm: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    title: str | None = None,
+) -> str:
+    """Render figure-style scatter data as a character plot.
+
+    X axis: execution time; Y axis: time penalty (both in seconds, as in
+    Figs. 6-8 -- "the closer a solution is to point (0,0), the better").
+    Each algorithm gets a letter marker; collisions show ``*``. Axes are
+    anchored at 0 so the distance-to-origin reading survives.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small (need width >= 8, height >= 4)")
+    all_points = [
+        point
+        for points in points_per_algorithm.values()
+        for point in points
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not all_points:
+        lines.append("(no points)")
+        return "\n".join(lines)
+
+    x_max = max(x for x, _ in all_points) or 1.0
+    y_max = max(y for _, y in all_points) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    for index, name in enumerate(points_per_algorithm):
+        markers[name] = letters[index % len(letters)]
+    for name, points in points_per_algorithm.items():
+        marker = markers[name]
+        for x, y in points:
+            column = min(width - 1, int(x / x_max * (width - 1)))
+            row = height - 1 - min(height - 1, int(y / y_max * (height - 1)))
+            cell = grid[row][column]
+            grid[row][column] = marker if cell in (" ", marker) else "*"
+
+    lines.append(f"time penalty (0 .. {y_max:.4g} s)")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" execution time (0 .. {x_max:.4g} s)")
+    legend = "  ".join(
+        f"{marker}={name}" for name, marker in markers.items()
+    )
+    lines.append(f"legend: {legend}  (*=overlap)")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Graphviz DOT export for workflows, networks and deployments.
+
+Pure text generation (no graphviz dependency): feed the output to
+``dot -Tsvg`` or any DOT viewer. Conventions:
+
+* operational nodes are boxes; ``AND``/``OR``/``XOR`` splits and joins
+  are diamonds labelled with their kind;
+* workflow edges are labelled with the message size (and the branch
+  probability for XOR branches) and get thicker with size;
+* deployment export clusters operations into one subgraph per server.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping import Deployment
+from repro.core.workflow import Message, NodeKind, Workflow
+from repro.network.topology import ServerNetwork
+
+__all__ = ["workflow_to_dot", "network_to_dot", "deployment_to_dot"]
+
+
+def _quote(identifier: str) -> str:
+    escaped = identifier.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _format_bits(bits: float) -> str:
+    if bits >= 1e6:
+        return f"{bits / 1e6:.2f} Mbit"
+    if bits >= 1e3:
+        return f"{bits / 1e3:.1f} kbit"
+    return f"{bits:g} bit"
+
+
+def _format_cycles(cycles: float) -> str:
+    if cycles >= 1e6:
+        return f"{cycles / 1e6:g} Mcyc"
+    return f"{cycles:g} cyc"
+
+
+def _edge_label(message: Message) -> str:
+    label = _format_bits(message.size_bits)
+    if message.probability != 1.0:
+        label += f"\\np={message.probability:g}"
+    return label
+
+
+def workflow_to_dot(workflow: Workflow) -> str:
+    """DOT digraph of *workflow*."""
+    lines = [f"digraph {_quote(workflow.name)} {{", "  rankdir=LR;"]
+    for operation in workflow.operations:
+        if operation.kind is NodeKind.OPERATIONAL:
+            shape, label = "box", (
+                f"{operation.name}\\n{_format_cycles(operation.cycles)}"
+            )
+        else:
+            shape, label = "diamond", (
+                f"{operation.name}\\n[{operation.kind.value}]"
+            )
+        lines.append(
+            f"  {_quote(operation.name)} "
+            f"[shape={shape}, label={_quote(label)}];"
+        )
+    for message in workflow.messages:
+        lines.append(
+            f"  {_quote(message.source)} -> {_quote(message.target)} "
+            f"[label={_quote(_edge_label(message))}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_dot(network: ServerNetwork) -> str:
+    """DOT (undirected) graph of *network*."""
+    lines = [f"graph {_quote(network.name)} {{", "  layout=circo;"]
+    for server in network.servers:
+        label = f"{server.name}\\n{server.power_hz / 1e9:g} GHz"
+        lines.append(
+            f"  {_quote(server.name)} [shape=box3d, label={_quote(label)}];"
+        )
+    for link in network.links:
+        label = f"{link.speed_bps / 1e6:g} Mbps"
+        lines.append(
+            f"  {_quote(link.a)} -- {_quote(link.b)} "
+            f"[label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def deployment_to_dot(
+    workflow: Workflow, network: ServerNetwork, deployment: Deployment
+) -> str:
+    """DOT digraph of *workflow* clustered by hosting server.
+
+    Cross-server messages are drawn bold red (they cost ``Tcomm``);
+    co-located ones stay thin and grey.
+    """
+    deployment.validate(workflow, network)
+    lines = [f"digraph {_quote(workflow.name + '@' + network.name)} {{"]
+    for index, server in enumerate(network.servers):
+        operations = deployment.operations_on(server.name)
+        lines.append(f"  subgraph cluster_{index} {{")
+        label = f"{server.name} ({server.power_hz / 1e9:g} GHz)"
+        lines.append(f"    label={_quote(label)};")
+        for name in operations:
+            operation = workflow.operation(name)
+            shape = (
+                "box" if operation.kind is NodeKind.OPERATIONAL else "diamond"
+            )
+            lines.append(f"    {_quote(name)} [shape={shape}];")
+        lines.append("  }")
+    for message in workflow.messages:
+        crossing = deployment.server_of(message.source) != deployment.server_of(
+            message.target
+        )
+        style = (
+            'color=red, penwidth=2, label=' + _quote(_edge_label(message))
+            if crossing
+            else "color=grey"
+        )
+        lines.append(
+            f"  {_quote(message.source)} -> {_quote(message.target)} "
+            f"[{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

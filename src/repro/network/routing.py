@@ -1,0 +1,116 @@
+"""Message routing over a server network.
+
+``Path(s, s')`` in Table 1 is the route a message follows between two
+servers, and ``Tcomm`` sums transmission plus propagation time along that
+route. On the paper's topologies routes are trivial (a bus connects every
+pair directly, a line has a unique path), but the router works on any
+connected network by picking the route that minimises total delivery time
+for the given message size -- which can depend on the size: a large
+message may prefer a longer path of fast links over a short path with a
+slow hop.
+
+Results are memoised per ``(source, target, size)`` triple; the cache is
+invalidated by constructing a new router (networks are treated as frozen
+once routing starts).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import DisconnectedNetworkError, UnknownServerError
+from repro.network.topology import ServerNetwork
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Shortest-delivery-time routing with memoisation.
+
+    Parameters
+    ----------
+    network:
+        The server network to route over. The router snapshots nothing --
+        it reads the network lazily -- but assumes links do not change
+        after the first query.
+    """
+
+    def __init__(self, network: ServerNetwork):
+        self._network = network
+        self._path_cache: dict[tuple[str, str, float], tuple[str, ...]] = {}
+        self._time_cache: dict[tuple[str, str, float], float] = {}
+
+    @property
+    def network(self) -> ServerNetwork:
+        """The network this router operates on."""
+        return self._network
+
+    def _link_time(self, a: str, b: str, size_bits: float) -> float:
+        link = self._network.link(a, b)
+        return size_bits / link.speed_bps + link.propagation_s
+
+    def path(self, source: str, target: str, size_bits: float = 0.0) -> tuple[str, ...]:
+        """``Path(s, s')``: server names along the fastest route.
+
+        A message of zero size is routed by propagation delay alone (with
+        hop count as the tie-breaker via Dijkstra's behaviour). Source and
+        target equal yields the single-element path ``(source,)``.
+        """
+        self._network.server(source)
+        self._network.server(target)
+        if source == target:
+            return (source,)
+        key = (source, target, size_bits)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            nodes = nx.dijkstra_path(
+                self._network.graph,
+                source,
+                target,
+                weight=lambda a, b, _attrs: self._link_time(a, b, size_bits),
+            )
+        except nx.NetworkXNoPath:
+            raise DisconnectedNetworkError(
+                f"no route from {source!r} to {target!r} in "
+                f"{self._network.name!r}"
+            ) from None
+        except nx.NodeNotFound as exc:  # pragma: no cover - guarded above
+            raise UnknownServerError(str(exc)) from None
+        path = tuple(nodes)
+        self._path_cache[key] = path
+        # symmetric network: the reverse path is optimal in reverse
+        self._path_cache[(target, source, size_bits)] = path[::-1]
+        return path
+
+    def transmission_time(
+        self, source: str, target: str, size_bits: float
+    ) -> float:
+        """``Ttrans`` along the best path: sum of per-link size/speed + Trefl.
+
+        Zero when source and target coincide (co-located operations talk
+        through local memory, the paper's key lever for saving cost).
+        """
+        if source == target:
+            return 0.0
+        key = (source, target, size_bits)
+        cached = self._time_cache.get(key)
+        if cached is not None:
+            return cached
+        route = self.path(source, target, size_bits)
+        total = sum(
+            self._link_time(a, b, size_bits) for a, b in zip(route, route[1:])
+        )
+        self._time_cache[key] = total
+        self._time_cache[(target, source, size_bits)] = total
+        return total
+
+    def hop_count(self, source: str, target: str, size_bits: float = 0.0) -> int:
+        """Number of links on the chosen route (0 when co-located)."""
+        return len(self.path(source, target, size_bits)) - 1
+
+    def clear_cache(self) -> None:
+        """Drop memoised paths and times (call after mutating the network)."""
+        self._path_cache.clear()
+        self._time_cache.clear()

@@ -1,0 +1,31 @@
+"""Discrete-event simulation of deployed workflows.
+
+The paper evaluates deployments analytically (Table 1). This package
+provides the testbed equivalent: an event-driven executor that actually
+*runs* a deployed workflow -- sampling XOR branches, racing OR branches,
+queueing operations on finite-capacity servers and delaying messages on
+links -- and reports the measured makespan and per-server busy time.
+
+It serves two purposes:
+
+* **cross-validation** -- on configurations where the analytic model is
+  exact (line workflows; or infinite server concurrency) the simulator
+  must agree with :meth:`repro.core.cost.CostModel.execution_time`, which
+  the test suite asserts;
+* **realism ablations** -- with single-core servers
+  (``server_concurrency=1``) the simulator exposes queueing effects the
+  paper's model ignores, quantified in ``benchmarks/bench_ablations.py``.
+"""
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.trace import OperationRecord, SimulationResult
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "OperationRecord",
+    "SimulationResult",
+]

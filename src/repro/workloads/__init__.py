@@ -1,0 +1,70 @@
+"""Workload generation: the experimental inputs of section 4.1.
+
+* :mod:`repro.workloads.messages` -- the three SOAP message classes of
+  [NgCG04] (simple/medium/complex) and size mixtures.
+* :mod:`repro.workloads.parameters` -- discrete parameter mixtures,
+  including the exact Class C configuration of Table 6 and the Class A/B
+  sweeps.
+* :mod:`repro.workloads.generator` -- line workflows, random well-formed
+  graph workflows (bushy/lengthy/hybrid), and parameterised server
+  networks.
+* :mod:`repro.workloads.gallery` -- hand-built example workflows,
+  including the Fig. 1 healthcare rendezvous workflow.
+"""
+
+from repro.workloads.messages import (
+    MessageClass,
+    MessageMixture,
+    SIMPLE_MESSAGE,
+    MEDIUM_MESSAGE,
+    COMPLEX_MESSAGE,
+    PAPER_MESSAGE_MIXTURE,
+)
+from repro.workloads.parameters import (
+    DiscreteMixture,
+    ClassCParameters,
+    ClassAParameters,
+    ClassBParameters,
+    SIMPLE_OPERATION_CYCLES,
+    MEDIUM_OPERATION_CYCLES,
+    HEAVY_OPERATION_CYCLES,
+)
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_graph_workflow,
+    random_bus_network,
+    random_line_network,
+)
+from repro.workloads.gallery import healthcare_workflow, ministry_network
+from repro.workloads.monitoring import (
+    observe_branch_frequencies,
+    calibrated_workflow,
+    monitor_and_calibrate,
+)
+
+__all__ = [
+    "MessageClass",
+    "MessageMixture",
+    "SIMPLE_MESSAGE",
+    "MEDIUM_MESSAGE",
+    "COMPLEX_MESSAGE",
+    "PAPER_MESSAGE_MIXTURE",
+    "DiscreteMixture",
+    "ClassCParameters",
+    "ClassAParameters",
+    "ClassBParameters",
+    "SIMPLE_OPERATION_CYCLES",
+    "MEDIUM_OPERATION_CYCLES",
+    "HEAVY_OPERATION_CYCLES",
+    "GraphStructure",
+    "line_workflow",
+    "random_graph_workflow",
+    "random_bus_network",
+    "random_line_network",
+    "healthcare_workflow",
+    "ministry_network",
+    "observe_branch_frequencies",
+    "calibrated_workflow",
+    "monitor_and_calibrate",
+]

@@ -1,0 +1,99 @@
+"""Hand-built example workflows, starting with the paper's Fig. 1.
+
+The motivating example (section 2.1) is an electronic rendezvous system
+of a ministry of health: patients request a consultation, the system
+checks doctor availability, arranges (or reschedules) the meeting, then
+registers prescribed medicines and notifies the social-security agencies.
+The figure itself shows 15 operations over 5 ministry servers; the exact
+node labels are not given in the text, so this reconstruction keeps the
+documented shape: an XOR on doctor availability, an AND fan-out for the
+medicine/social-security bookkeeping, and 15 nodes total.
+
+Costs use the section 4.1 anchors (simple 5 M / medium 50 M / heavy
+500 M cycles) and SOAP message classes for realistic magnitudes.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import WorkflowBuilder
+from repro.core.workflow import NodeKind, Workflow
+from repro.network.topology import ServerNetwork, bus_network
+from repro.workloads.messages import (
+    COMPLEX_MESSAGE,
+    MEDIUM_MESSAGE,
+    SIMPLE_MESSAGE,
+)
+from repro.workloads.parameters import (
+    HEAVY_OPERATION_CYCLES,
+    MEDIUM_OPERATION_CYCLES,
+    SIMPLE_OPERATION_CYCLES,
+)
+
+__all__ = ["healthcare_workflow", "ministry_network"]
+
+
+def healthcare_workflow() -> Workflow:
+    """The Fig. 1 rendezvous workflow: 15 operations, one XOR, one AND.
+
+    Structure::
+
+        receive_request -> lookup_patient -> check_availability (XOR)
+          available   (70%): assign_slot -> confirm_meeting
+          unavailable (30%): propose_alternative -> reschedule
+        /XOR -> conduct_meeting -> record_outcome (AND)
+          branch 1: register_medicines -> notify_social_security
+          branch 2: update_medical_record
+        /AND -> close_case
+    """
+    builder = WorkflowBuilder(
+        "healthcare-rendezvous",
+        default_message_bits=MEDIUM_MESSAGE.size_bits,
+    )
+    builder.task("receive_request", SIMPLE_OPERATION_CYCLES,
+                 SIMPLE_MESSAGE.size_bits)
+    builder.task("lookup_patient", MEDIUM_OPERATION_CYCLES,
+                 SIMPLE_MESSAGE.size_bits)
+    builder.split(NodeKind.XOR_SPLIT, "check_availability",
+                  SIMPLE_OPERATION_CYCLES, MEDIUM_MESSAGE.size_bits)
+    builder.branch(probability=0.7)
+    builder.task("assign_slot", MEDIUM_OPERATION_CYCLES,
+                 SIMPLE_MESSAGE.size_bits)
+    builder.task("confirm_meeting", SIMPLE_OPERATION_CYCLES,
+                 SIMPLE_MESSAGE.size_bits)
+    builder.branch(probability=0.3)
+    builder.task("propose_alternative", MEDIUM_OPERATION_CYCLES,
+                 MEDIUM_MESSAGE.size_bits)
+    builder.task("reschedule", SIMPLE_OPERATION_CYCLES,
+                 SIMPLE_MESSAGE.size_bits)
+    builder.join("availability_resolved", SIMPLE_OPERATION_CYCLES,
+                 SIMPLE_MESSAGE.size_bits)
+    builder.task("conduct_meeting", HEAVY_OPERATION_CYCLES,
+                 COMPLEX_MESSAGE.size_bits)
+    builder.split(NodeKind.AND_SPLIT, "record_outcome",
+                  SIMPLE_OPERATION_CYCLES, MEDIUM_MESSAGE.size_bits)
+    builder.branch()
+    builder.task("register_medicines", MEDIUM_OPERATION_CYCLES,
+                 COMPLEX_MESSAGE.size_bits)
+    builder.task("notify_social_security", MEDIUM_OPERATION_CYCLES,
+                 COMPLEX_MESSAGE.size_bits)
+    builder.branch()
+    builder.task("update_medical_record", MEDIUM_OPERATION_CYCLES,
+                 MEDIUM_MESSAGE.size_bits)
+    builder.join("bookkeeping_done", SIMPLE_OPERATION_CYCLES,
+                 SIMPLE_MESSAGE.size_bits)
+    builder.task("close_case", SIMPLE_OPERATION_CYCLES,
+                 SIMPLE_MESSAGE.size_bits)
+    return builder.build()
+
+
+def ministry_network(speed_bps: float = 100e6) -> ServerNetwork:
+    """The ministry's 5 servers on a shared bus (section 2.1).
+
+    Heterogeneous powers so the ``Ideal_Cycles`` shares differ, which is
+    what makes the fairness dimension interesting on this example.
+    """
+    return bus_network(
+        [1e9, 2e9, 2e9, 3e9, 2e9],
+        speed_bps=speed_bps,
+        name="ministry",
+    )

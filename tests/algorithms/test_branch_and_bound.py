@@ -1,0 +1,103 @@
+"""Unit tests for the branch-and-bound exact solver."""
+
+import pytest
+
+from repro.algorithms.branch_and_bound import BranchAndBound
+from repro.algorithms.exhaustive import Exhaustive
+from repro.core.cost import CostModel
+from repro.exceptions import SearchSpaceTooLargeError
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_bus_network,
+    random_graph_workflow,
+)
+
+
+def test_invalid_node_limit_rejected():
+    with pytest.raises(SearchSpaceTooLargeError):
+        BranchAndBound(node_limit=0)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_matches_exhaustive_on_lines(seed):
+    workflow = line_workflow(6, seed=seed)
+    network = random_bus_network(3, seed=seed + 100)
+    model = CostModel(workflow, network)
+    optimum = Exhaustive().best(workflow, network, model).cost.objective
+    deployment = BranchAndBound().deploy(workflow, network, cost_model=model)
+    assert model.objective(deployment) == pytest.approx(optimum, abs=1e-12)
+
+
+@pytest.mark.parametrize("structure", list(GraphStructure))
+def test_matches_exhaustive_on_graphs(structure):
+    workflow = random_graph_workflow(7, structure, seed=11)
+    network = random_bus_network(3, seed=12)
+    model = CostModel(workflow, network)
+    optimum = Exhaustive().best(workflow, network, model).cost.objective
+    deployment = BranchAndBound().deploy(workflow, network, cost_model=model)
+    assert model.objective(deployment) == pytest.approx(optimum, abs=1e-12)
+
+
+def test_prunes_substantially():
+    workflow = line_workflow(10, seed=1)
+    network = random_bus_network(3, seed=2)
+    model = CostModel(workflow, network)
+    solver = BranchAndBound()
+    solver.deploy(workflow, network, cost_model=model)
+    full_tree_leaves = 3**10
+    assert solver.nodes_explored < full_tree_leaves / 10
+
+
+def test_node_limit_enforced():
+    workflow = line_workflow(12, seed=3)
+    network = random_bus_network(4, seed=4)
+    solver = BranchAndBound(node_limit=5)
+    with pytest.raises(SearchSpaceTooLargeError):
+        solver.deploy(workflow, network)
+
+
+def test_never_worse_than_its_holm_incumbent():
+    """The incumbent seeds the search; the result can only improve on it."""
+    from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+
+    workflow = line_workflow(8, seed=6)
+    network = random_bus_network(3, seed=7)
+    model = CostModel(workflow, network)
+    holm_value = model.objective(
+        HeavyOpsLargeMsgs().deploy(workflow, network, cost_model=model)
+    )
+    bb_value = model.objective(
+        BranchAndBound().deploy(workflow, network, cost_model=model)
+    )
+    assert bb_value <= holm_value + 1e-15
+
+
+def test_respects_objective_weights():
+    """With penalty weight 0, B&B must find the pure-speed optimum."""
+    workflow = line_workflow(6, seed=8)
+    network = random_bus_network(2, seed=9)
+    model = CostModel(workflow, network, execution_weight=1.0, penalty_weight=0.0)
+    deployment = BranchAndBound().deploy(workflow, network, cost_model=model)
+    optimum = Exhaustive().best(workflow, network, model).cost.objective
+    assert model.objective(deployment) == pytest.approx(optimum, abs=1e-12)
+
+
+@pytest.mark.parametrize("penalty_mode", ("mad", "sum_abs", "max", "std"))
+def test_matches_exhaustive_under_every_penalty_mode(penalty_mode):
+    """The water-filling fairness bound must stay sound for every
+    deviation statistic (all are Schur-convex, so levelling minimises
+    each -- this test would catch a statistic that breaks that)."""
+    workflow = line_workflow(5, seed=13)
+    network = random_bus_network(3, seed=14)
+    model = CostModel(workflow, network, penalty_mode=penalty_mode)
+    optimum = Exhaustive().best(workflow, network, model).cost.objective
+    deployment = BranchAndBound().deploy(workflow, network, cost_model=model)
+    assert model.objective(deployment) == pytest.approx(optimum, abs=1e-12)
+
+
+def test_single_server():
+    workflow = line_workflow(5, seed=10)
+    network = random_bus_network(1, seed=11)
+    deployment = BranchAndBound().deploy(workflow, network)
+    assert set(deployment.as_dict().values()) == {network.server_names[0]}

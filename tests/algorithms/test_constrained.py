@@ -1,0 +1,92 @@
+"""Unit tests for constraint-aware deployment search."""
+
+import pytest
+
+from repro.algorithms.constrained import ConstraintAwareSearch
+from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.core.constraints import (
+    ConstraintSet,
+    MaxServerLoad,
+    MaxTimePenalty,
+)
+from repro.core.cost import CostModel
+from repro.exceptions import AlgorithmError
+from repro.network.topology import bus_network
+from repro.workloads.generator import line_workflow
+
+
+def test_parameter_validation():
+    with pytest.raises(AlgorithmError):
+        ConstraintAwareSearch(max_iterations=0)
+
+
+def test_no_constraints_behaves_like_local_search(line5, bus3):
+    """With an empty C it just polishes the seed's objective."""
+    model = CostModel(line5, bus3)
+    seeded = HeavyOpsLargeMsgs().deploy(line5, bus3, cost_model=model)
+    refined = ConstraintAwareSearch().deploy(line5, bus3, cost_model=model)
+    assert model.objective(refined) <= model.objective(seeded) + 1e-15
+
+
+def test_repairs_a_fairness_violation():
+    """HOLM on a slow bus lumps operations (unfair); the constraint-aware
+    search must trade execution time back for admissibility."""
+    workflow = line_workflow(12, seed=3)
+    network = bus_network([1e9, 2e9, 3e9], speed_bps=1e6)
+    model = CostModel(workflow, network)
+    seeded = HeavyOpsLargeMsgs().deploy(workflow, network, cost_model=model)
+    limit = 0.5 * model.time_penalty(seeded)  # force a real repair
+    constraints = ConstraintSet([MaxTimePenalty(limit)])
+    assert not constraints.satisfied(model.evaluate(seeded))
+
+    repaired = ConstraintAwareSearch(constraints=constraints).deploy(
+        workflow, network, cost_model=model
+    )
+    assert constraints.satisfied(model.evaluate(repaired))
+
+
+def test_feasible_result_optimises_objective_second():
+    """Among admissible mappings the search still minimises the objective:
+    it must not stop at the first feasible point."""
+    workflow = line_workflow(10, seed=5)
+    network = bus_network([1e9, 2e9, 3e9], speed_bps=1e6)
+    model = CostModel(workflow, network)
+    constraints = ConstraintSet([MaxTimePenalty(1.0)])  # trivially loose
+    refined = ConstraintAwareSearch(constraints=constraints).deploy(
+        workflow, network, cost_model=model
+    )
+    seeded = HeavyOpsLargeMsgs().deploy(workflow, network, cost_model=model)
+    assert model.objective(refined) <= model.objective(seeded) + 1e-15
+
+
+def test_unsatisfiable_constraints_minimise_excess():
+    """An impossible load cap cannot be met; the search returns the
+    least-infeasible mapping instead of crashing."""
+    workflow = line_workflow(8, seed=7)
+    network = bus_network([1e9, 1e9], speed_bps=100e6)
+    model = CostModel(workflow, network)
+    impossible = ConstraintSet([MaxServerLoad(1e-9)])
+    seeded = HeavyOpsLargeMsgs().deploy(workflow, network, cost_model=model)
+    result = ConstraintAwareSearch(constraints=impossible).deploy(
+        workflow, network, cost_model=model
+    )
+    result.validate(workflow, network)
+    assert impossible.total_excess(
+        model.evaluate(result)
+    ) <= impossible.total_excess(model.evaluate(seeded)) + 1e-15
+
+
+def test_custom_seed_algorithm(line5, bus3):
+    from repro.algorithms.fair_load import FairLoad
+
+    search = ConstraintAwareSearch(seed_algorithm=FairLoad())
+    deployment = search.deploy(line5, bus3, rng=1)
+    deployment.validate(line5, bus3)
+
+
+def test_deterministic(line5, bus3):
+    constraints = ConstraintSet([MaxTimePenalty(0.01)])
+    search = ConstraintAwareSearch(constraints=constraints)
+    assert search.deploy(line5, bus3, rng=2) == search.deploy(
+        line5, bus3, rng=2
+    )

@@ -1,0 +1,98 @@
+"""Unit tests for the genetic-algorithm deployment."""
+
+import pytest
+
+from repro.algorithms.exhaustive import Exhaustive
+from repro.algorithms.genetic import GeneticAlgorithm
+from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.core.cost import CostModel
+from repro.exceptions import AlgorithmError
+from repro.workloads.generator import line_workflow, random_bus_network
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"population_size": 1},
+        {"generations": 0},
+        {"crossover_rate": 1.5},
+        {"mutation_rate": -0.1},
+        {"tournament": 0},
+    ],
+)
+def test_parameter_validation(kwargs):
+    with pytest.raises(AlgorithmError):
+        GeneticAlgorithm(**kwargs)
+
+
+def test_returns_complete_valid_mapping(line5, bus3):
+    deployment = GeneticAlgorithm(generations=5).deploy(line5, bus3, rng=1)
+    deployment.validate(line5, bus3)
+
+
+def test_deterministic_per_seed(line5, bus3):
+    algorithm = GeneticAlgorithm(generations=5)
+    d1 = algorithm.deploy(line5, bus3, rng=7)
+    d2 = algorithm.deploy(line5, bus3, rng=7)
+    assert d1 == d2
+
+
+def test_never_worse_than_heuristic_seeds(line5, bus3):
+    """Elitism + heuristic seeding: the GA cannot lose to its seeds."""
+    model = CostModel(line5, bus3)
+    holm_value = model.objective(
+        HeavyOpsLargeMsgs().deploy(line5, bus3, cost_model=model)
+    )
+    ga_value = model.objective(
+        GeneticAlgorithm(generations=10).deploy(
+            line5, bus3, cost_model=model, rng=3
+        )
+    )
+    assert ga_value <= holm_value + 1e-15
+
+
+def test_reaches_optimum_on_tiny_instance():
+    workflow = line_workflow(5, seed=2)
+    network = random_bus_network(2, seed=3)
+    model = CostModel(workflow, network)
+    optimum = Exhaustive().best(workflow, network, model).cost.objective
+    ga_value = model.objective(
+        GeneticAlgorithm(population_size=40, generations=40).deploy(
+            workflow, network, cost_model=model, rng=4
+        )
+    )
+    assert ga_value == pytest.approx(optimum, rel=1e-9)
+
+
+def test_unseeded_population_still_works(line5, bus3):
+    deployment = GeneticAlgorithm(
+        generations=5, seed_with_heuristics=False
+    ).deploy(line5, bus3, rng=5)
+    deployment.validate(line5, bus3)
+
+
+def test_single_server(line5):
+    network = random_bus_network(1, seed=1)
+    deployment = GeneticAlgorithm(generations=3).deploy(line5, network, rng=2)
+    assert set(deployment.as_dict().values()) == {network.server_names[0]}
+
+
+def test_generations_improve_or_hold(line5, bus3):
+    """More generations never hurt (elitism is monotone per seed)."""
+    model = CostModel(line5, bus3)
+    short = model.objective(
+        GeneticAlgorithm(generations=2).deploy(
+            line5, bus3, cost_model=model, rng=9
+        )
+    )
+    # different generation counts change the RNG consumption pattern, so
+    # compare against the best of several seeds instead of the same seed
+    long = min(
+        model.objective(
+            GeneticAlgorithm(generations=25).deploy(
+                line5, bus3, cost_model=model, rng=seed
+            )
+        )
+        for seed in range(3)
+    )
+    assert long <= short + 1e-12

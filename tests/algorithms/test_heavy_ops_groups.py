@@ -1,0 +1,142 @@
+"""Unit tests for HOLM's internal group bookkeeping (`_Groups`)."""
+
+import pytest
+
+from repro.algorithms.base import DeploymentAlgorithm
+from repro.algorithms.heavy_ops import _Groups
+from repro.core.mapping import Deployment
+from repro.core.workflow import Operation, Workflow
+from repro.network.topology import bus_network
+
+
+def make_context(cycles=(10e6, 20e6, 30e6, 40e6)):
+    workflow = Workflow("groups")
+    names = [f"O{i}" for i in range(1, len(cycles) + 1)]
+    workflow.add_operations(
+        Operation(n, c) for n, c in zip(names, cycles)
+    )
+    for a, b in zip(names, names[1:]):
+        workflow.connect(a, b, 1_000)
+    network = bus_network([1e9, 1e9], speed_bps=100e6)
+
+    class Probe(DeploymentAlgorithm):
+        name = "test-groups-probe"
+
+        def _deploy(self, context):
+            self.context = context
+            return Deployment.round_robin(context.workflow, context.network)
+
+    probe = Probe()
+    probe.deploy(workflow, network)
+    return probe.context
+
+
+def test_initial_singletons():
+    context = make_context()
+    groups = _Groups(context)
+    assert len(groups) == 4
+    for name in context.workflow.operation_names:
+        assert groups.members(groups.group_of(name)) == {name}
+
+
+def test_heaviest_tracks_cycles():
+    context = make_context()
+    groups = _Groups(context)
+    heaviest = groups.heaviest()
+    assert groups.members(heaviest) == {"O4"}
+    assert groups.cycles(heaviest) == pytest.approx(40e6)
+
+
+def test_merge_accumulates_cycles_and_members():
+    context = make_context()
+    groups = _Groups(context)
+    merged = groups.merge("O1", "O2")
+    assert groups.members(merged) == {"O1", "O2"}
+    assert groups.cycles(merged) == pytest.approx(30e6)
+    assert groups.group_of("O1") == groups.group_of("O2")
+    assert len(groups) == 3
+
+
+def test_merge_same_group_is_noop():
+    context = make_context()
+    groups = _Groups(context)
+    first = groups.merge("O1", "O2")
+    second = groups.merge("O2", "O1")
+    assert first == second
+    assert len(groups) == 3
+
+
+def test_merged_group_can_become_heaviest():
+    context = make_context()
+    groups = _Groups(context)
+    groups.merge("O1", "O2")
+    groups.merge("O1", "O3")  # 10+20+30 = 60M > O4's 40M
+    assert groups.members(groups.heaviest()) == {"O1", "O2", "O3"}
+
+
+def test_remove_operation_updates_cycles():
+    context = make_context()
+    groups = _Groups(context)
+    merged = groups.merge("O1", "O2")
+    groups.remove_operation("O2")
+    assert groups.members(merged) == {"O1"}
+    assert groups.cycles(merged) == pytest.approx(10e6)
+
+
+def test_removing_last_member_drops_group():
+    context = make_context()
+    groups = _Groups(context)
+    gid = groups.group_of("O1")
+    groups.remove_operation("O1")
+    assert len(groups) == 3
+    with pytest.raises(KeyError):
+        groups.members(gid)
+
+
+def test_remove_group_returns_members():
+    context = make_context()
+    groups = _Groups(context)
+    merged = groups.merge("O3", "O4")
+    members = groups.remove_group(merged)
+    assert members == {"O3", "O4"}
+    assert len(groups) == 2
+
+
+def test_same_group_query():
+    context = make_context()
+    groups = _Groups(context)
+    assert not groups.same_group("O1", "O2")
+    groups.merge("O1", "O2")
+    assert groups.same_group("O1", "O2")
+    groups.remove_operation("O1")
+    assert not groups.same_group("O1", "O2")
+
+
+def test_heaviest_none_when_empty():
+    context = make_context(cycles=(10e6,))
+    groups = _Groups(context)
+    groups.remove_operation("O1")
+    assert groups.heaviest() is None
+
+
+def test_heaviest_tie_breaks_by_insertion_rank():
+    context = make_context(cycles=(10e6, 10e6, 10e6, 10e6))
+    groups = _Groups(context)
+    assert groups.members(groups.heaviest()) == {"O1"}
+
+
+def test_weighted_cycles_used(xor_diamond, bus3):
+    """Group cycles honour the section 3.4 probability weights."""
+
+    class Probe(DeploymentAlgorithm):
+        name = "test-groups-probe-xor"
+
+        def _deploy(self, context):
+            self.context = context
+            return Deployment.round_robin(context.workflow, context.network)
+
+    probe = Probe()
+    probe.deploy(xor_diamond, bus3)
+    groups = _Groups(probe.context)
+    left = groups.group_of("left")
+    assert groups.cycles(left) == pytest.approx(0.7 * 20e6)

@@ -1,0 +1,252 @@
+"""Unit tests for workflow analysis (statistics, region tree, critical path)."""
+
+import pytest
+
+from repro.core.analysis import (
+    critical_path,
+    region_tree,
+    workflow_statistics,
+)
+from repro.core.builder import WorkflowBuilder
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.core.workflow import NodeKind, Operation, Workflow
+from repro.exceptions import MalformedWorkflowError
+
+MS = 1e-3
+
+
+class TestStatistics:
+    def test_line(self, line3):
+        stats = workflow_statistics(line3)
+        assert stats["operations"] == 3
+        assert stats["messages"] == 2
+        assert stats["depth"] == 3
+        assert stats["max_fan_out"] == 1
+        assert stats["max_fan_in"] == 1
+        assert stats["kind_counts"] == {"operational": 3}
+        assert stats["total_cycles"] == 60e6
+        assert stats["total_message_bits"] == 24_000
+        assert stats["mean_message_bits"] == 12_000
+
+    def test_diamond(self, xor_diamond):
+        stats = workflow_statistics(xor_diamond)
+        assert stats["max_fan_out"] == 2
+        assert stats["max_fan_in"] == 2
+        assert stats["kind_counts"]["xor"] == 1
+        assert stats["kind_counts"]["/xor"] == 1
+        # start -> choice -> branch -> merge -> end = depth 5
+        assert stats["depth"] == 5
+
+    def test_single_operation(self):
+        workflow = Workflow("solo")
+        workflow.add_operation(Operation("A", 1e6))
+        stats = workflow_statistics(workflow)
+        assert stats["depth"] == 1
+        assert stats["mean_message_bits"] == 0.0
+
+
+class TestRegionTree:
+    def test_no_regions(self, line3):
+        tree = region_tree(line3)
+        assert tree.is_root
+        assert tree.count() == 0
+        assert tree.depth() == 0
+
+    def test_single_region(self, xor_diamond):
+        tree = region_tree(xor_diamond)
+        assert tree.count() == 1
+        child = tree.children[0]
+        assert (child.split, child.join) == ("choice", "merge")
+        assert child.kind is NodeKind.XOR_SPLIT
+        assert not child.is_root
+
+    def test_nested_regions(self):
+        builder = WorkflowBuilder("nested", default_message_bits=10)
+        builder.task("t", 1e6)
+        builder.split(NodeKind.AND_SPLIT, "outer", 1e6)
+        builder.branch()
+        builder.split(NodeKind.XOR_SPLIT, "inner", 1e6)
+        builder.branch(probability=0.5)
+        builder.task("a", 1e6)
+        builder.branch(probability=0.5)
+        builder.task("b", 1e6)
+        builder.join("inner_end", 1e6)
+        builder.branch()
+        builder.task("c", 1e6)
+        builder.join("outer_end", 1e6)
+        tree = region_tree(builder.build())
+        assert tree.count() == 2
+        assert tree.depth() == 2
+        outer = tree.children[0]
+        assert outer.split == "outer"
+        assert [child.split for child in outer.children] == ["inner"]
+
+    def test_sibling_regions(self):
+        builder = WorkflowBuilder("siblings", default_message_bits=10)
+        builder.task("t", 1e6)
+        for index in range(2):
+            builder.split(NodeKind.AND_SPLIT, f"s{index}", 1e6)
+            builder.branch()
+            builder.task(f"a{index}", 1e6)
+            builder.branch()
+            builder.task(f"b{index}", 1e6)
+            builder.join(f"j{index}", 1e6)
+        tree = region_tree(builder.build())
+        assert tree.count() == 2
+        assert tree.depth() == 1
+        assert [child.split for child in tree.children] == ["s0", "s1"]
+
+    def test_malformed_rejected(self):
+        workflow = Workflow("bad")
+        workflow.add_operations(
+            [
+                Operation("s", 1e6, NodeKind.AND_SPLIT),
+                Operation("a", 1e6),
+                Operation("b", 1e6),
+            ]
+        )
+        workflow.connect("s", "a", 1)
+        workflow.connect("s", "b", 1)
+        with pytest.raises(MalformedWorkflowError):
+            region_tree(workflow)
+
+
+class TestExtractRegion:
+    def test_single_region_extraction(self, xor_diamond):
+        from repro.core.analysis import extract_region
+        from repro.core.validation import check_well_formed
+
+        region = extract_region(xor_diamond, "choice")
+        assert set(region.operation_names) == {
+            "choice",
+            "left",
+            "right",
+            "merge",
+        }
+        assert region.entries == ("choice",)
+        assert region.exits == ("merge",)
+        assert check_well_formed(region).ok
+        # probabilities survive
+        assert region.message("choice", "left").probability == 0.7
+
+    def test_nested_region_extraction(self):
+        from repro.core.analysis import extract_region
+
+        builder = WorkflowBuilder("nested", default_message_bits=10)
+        builder.task("t", 1e6)
+        builder.split(NodeKind.AND_SPLIT, "outer", 1e6)
+        builder.branch()
+        builder.split(NodeKind.XOR_SPLIT, "inner", 1e6)
+        builder.branch(probability=0.5)
+        builder.task("a", 1e6)
+        builder.branch(probability=0.5)
+        builder.task("b", 1e6)
+        builder.join("inner_end", 1e6)
+        builder.branch()
+        builder.task("c", 1e6)
+        builder.join("outer_end", 1e6)
+        workflow = builder.build()
+
+        inner = extract_region(workflow, "inner")
+        assert set(inner.operation_names) == {"inner", "a", "b", "inner_end"}
+        outer = extract_region(workflow, "outer")
+        assert "t" not in outer
+        assert {"inner", "a", "b", "inner_end", "c"} <= set(
+            outer.operation_names
+        )
+
+    def test_non_split_rejected(self, xor_diamond):
+        from repro.core.analysis import extract_region
+
+        with pytest.raises(MalformedWorkflowError):
+            extract_region(xor_diamond, "start")
+
+    def test_malformed_rejected(self, line3):
+        from repro.core.analysis import extract_region
+
+        line3.connect("C", "A", 1)  # cycle
+        with pytest.raises(MalformedWorkflowError):
+            extract_region(line3, "A")
+
+
+class TestCriticalPath:
+    def test_line_path_is_the_whole_line(self, line3, bus3):
+        model = CostModel(line3, bus3)
+        deployment = Deployment({"A": "S1", "B": "S2", "C": "S3"})
+        path = critical_path(line3, deployment, model)
+        assert path.operations == ("A", "B", "C")
+        assert path.length_s == pytest.approx(
+            model.execution_time(deployment)
+        )
+        assert path.processing_s == pytest.approx(30 * MS)
+        assert path.communication_s == pytest.approx(24_000 / 100e6)
+        # no XOR: chain sums reconstruct the length exactly
+        assert path.processing_s + path.communication_s == pytest.approx(
+            path.length_s
+        )
+
+    def test_and_diamond_follows_slow_branch(self, and_diamond, bus3):
+        model = CostModel(and_diamond, bus3)
+        deployment = Deployment.all_on_one(and_diamond, "S1")
+        path = critical_path(and_diamond, deployment, model)
+        assert "right" in path.operations  # the 40M branch dominates
+        assert "left" not in path.operations
+
+    def test_or_diamond_follows_fast_branch(self, or_diamond, bus3):
+        model = CostModel(or_diamond, bus3)
+        deployment = Deployment.all_on_one(or_diamond, "S1")
+        path = critical_path(or_diamond, deployment, model)
+        assert "fast" in path.operations
+        assert "slow" not in path.operations
+
+    def test_xor_follows_dominant_weighted_branch(self, xor_diamond, bus3):
+        model = CostModel(xor_diamond, bus3)
+        deployment = Deployment.all_on_one(xor_diamond, "S1")
+        path = critical_path(xor_diamond, deployment, model)
+        # left: 0.7 * 31ms = 21.7; right: 0.3 * 51ms = 15.3 -> left wins
+        assert "left" in path.operations
+        assert path.length_s == pytest.approx(
+            model.execution_time(deployment)
+        )
+
+    def test_moving_critical_op_changes_time(self, line3, bus3):
+        """Sanity: speeding up the critical path's slowest op helps."""
+        model = CostModel(line3, bus3)
+        deployment = Deployment.all_on_one(line3, "S1")
+        path = critical_path(line3, deployment, model)
+        slowest = max(
+            path.operations, key=lambda n: model.tproc(n, deployment)
+        )
+        before = model.execution_time(deployment)
+        deployment.assign(slowest, "S3")  # 3x faster server
+        assert model.execution_time(deployment) < before
+
+
+class TestResponseTimes:
+    def test_line_response_times_accumulate(self, line3, bus3):
+        model = CostModel(line3, bus3)
+        deployment = Deployment.all_on_one(line3, "S1")
+        times = model.response_times(deployment)
+        assert times["A"] == pytest.approx(10 * MS)
+        assert times["B"] == pytest.approx(30 * MS)
+        assert times["C"] == pytest.approx(60 * MS)
+
+    def test_breakdown_carries_response_times(self, line3, bus3):
+        model = CostModel(line3, bus3)
+        cost = model.evaluate(Deployment.all_on_one(line3, "S1"))
+        assert cost.response_times["C"] == pytest.approx(60 * MS)
+
+    def test_max_response_time_constraint(self, line3, bus3):
+        from repro.core.constraints import ConstraintSet, MaxResponseTime
+
+        model = CostModel(line3, bus3)
+        cost = model.evaluate(Deployment.all_on_one(line3, "S1"))
+        assert MaxResponseTime("B", 0.05).satisfied(cost)
+        assert not MaxResponseTime("B", 0.02).satisfied(cost)
+        message = MaxResponseTime("ghost", 1.0).violation(cost)
+        assert message is not None and "ghost" in message
+        violations = ConstraintSet(
+            [MaxResponseTime("C", 0.01)]
+        ).violations(cost)
+        assert len(violations) == 1

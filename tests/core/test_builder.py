@@ -1,0 +1,163 @@
+"""Unit tests for the fluent workflow builder."""
+
+import pytest
+
+from repro.core.builder import WorkflowBuilder
+from repro.core.validation import check_well_formed
+from repro.core.workflow import NodeKind
+from repro.exceptions import WorkflowError
+
+
+def test_simple_sequence():
+    builder = WorkflowBuilder("seq", default_message_bits=100)
+    builder.task("a", 1e6).task("b", 2e6).task("c", 3e6)
+    workflow = builder.build()
+    assert workflow.is_line()
+    assert workflow.line_order() == ("a", "b", "c")
+    assert workflow.message("a", "b").size_bits == 100
+
+
+def test_message_size_override():
+    builder = WorkflowBuilder("seq", default_message_bits=100)
+    builder.task("a", 1e6)
+    builder.task("b", 1e6, message_bits=999)
+    workflow = builder.build()
+    assert workflow.message("a", "b").size_bits == 999
+
+
+def test_xor_region_structure(xor_diamond):
+    assert xor_diamond.operation("choice").kind is NodeKind.XOR_SPLIT
+    assert xor_diamond.operation("merge").kind is NodeKind.XOR_JOIN
+    assert set(xor_diamond.successors("choice")) == {"left", "right"}
+    assert set(xor_diamond.predecessors("merge")) == {"left", "right"}
+    assert xor_diamond.message("choice", "left").probability == 0.7
+    assert xor_diamond.message("choice", "right").probability == 0.3
+
+
+def test_built_workflows_are_well_formed(xor_diamond, and_diamond, or_diamond):
+    for workflow in (xor_diamond, and_diamond, or_diamond):
+        assert check_well_formed(workflow).ok
+
+
+def test_nested_regions():
+    builder = WorkflowBuilder("nested", default_message_bits=10)
+    builder.task("t0", 1e6)
+    builder.split(NodeKind.AND_SPLIT, "outer", 1e6)
+    builder.branch()
+    builder.split(NodeKind.XOR_SPLIT, "inner", 1e6)
+    builder.branch(probability=0.5)
+    builder.task("i1", 1e6)
+    builder.branch(probability=0.5)
+    builder.task("i2", 1e6)
+    builder.join("inner_end", 1e6)
+    builder.branch()
+    builder.task("o1", 1e6)
+    builder.join("outer_end", 1e6)
+    workflow = builder.build()
+    report = check_well_formed(workflow)
+    assert report.ok
+    assert report.matches == {"outer": "outer_end", "inner": "inner_end"}
+
+
+def test_split_requires_split_kind():
+    builder = WorkflowBuilder("bad")
+    builder.task("a", 1e6)
+    with pytest.raises(WorkflowError):
+        builder.split(NodeKind.AND_JOIN, "j", 1e6)
+    with pytest.raises(WorkflowError):
+        builder.split(NodeKind.OPERATIONAL, "op", 1e6)
+
+
+def test_task_directly_after_split_rejected():
+    builder = WorkflowBuilder("bad")
+    builder.task("a", 1e6)
+    builder.split(NodeKind.AND_SPLIT, "s", 1e6)
+    with pytest.raises(WorkflowError):
+        builder.task("oops", 1e6)
+
+
+def test_branch_without_region_rejected():
+    builder = WorkflowBuilder("bad")
+    builder.task("a", 1e6)
+    with pytest.raises(WorkflowError):
+        builder.branch()
+
+
+def test_join_without_region_rejected():
+    builder = WorkflowBuilder("bad")
+    builder.task("a", 1e6)
+    with pytest.raises(WorkflowError):
+        builder.join("j", 1e6)
+
+
+def test_join_without_branches_rejected():
+    builder = WorkflowBuilder("bad")
+    builder.task("a", 1e6)
+    builder.split(NodeKind.AND_SPLIT, "s", 1e6)
+    with pytest.raises(WorkflowError):
+        builder.join("j", 1e6)
+
+
+def test_empty_branch_rejected():
+    builder = WorkflowBuilder("bad")
+    builder.task("a", 1e6)
+    builder.split(NodeKind.AND_SPLIT, "s", 1e6)
+    builder.branch()
+    with pytest.raises(WorkflowError):
+        builder.branch()  # first branch is still empty
+
+
+def test_probability_on_non_xor_branch_rejected():
+    builder = WorkflowBuilder("bad")
+    builder.task("a", 1e6)
+    builder.split(NodeKind.AND_SPLIT, "s", 1e6)
+    with pytest.raises(WorkflowError):
+        builder.branch(probability=0.5)
+
+
+def test_xor_probabilities_must_sum_to_one():
+    builder = WorkflowBuilder("bad")
+    builder.task("a", 1e6)
+    builder.split(NodeKind.XOR_SPLIT, "x", 1e6)
+    builder.branch(probability=0.5)
+    builder.task("b", 1e6)
+    builder.branch(probability=0.2)
+    builder.task("c", 1e6)
+    with pytest.raises(WorkflowError):
+        builder.join("xe", 1e6)
+
+
+def test_unclosed_region_rejected_at_build():
+    builder = WorkflowBuilder("bad")
+    builder.task("a", 1e6)
+    builder.split(NodeKind.AND_SPLIT, "s", 1e6)
+    builder.branch()
+    builder.task("b", 1e6)
+    with pytest.raises(WorkflowError):
+        builder.build()
+
+
+def test_empty_build_rejected():
+    with pytest.raises(WorkflowError):
+        WorkflowBuilder("empty").build()
+
+
+def test_double_build_rejected():
+    builder = WorkflowBuilder("once")
+    builder.task("a", 1e6)
+    builder.build()
+    with pytest.raises(WorkflowError):
+        builder.build()
+
+
+def test_append_after_build_rejected():
+    builder = WorkflowBuilder("done")
+    builder.task("a", 1e6)
+    builder.build()
+    with pytest.raises(WorkflowError):
+        builder.task("b", 1e6)
+
+
+def test_negative_default_message_bits_rejected():
+    with pytest.raises(WorkflowError):
+        WorkflowBuilder("bad", default_message_bits=-1)

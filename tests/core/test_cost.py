@@ -1,0 +1,217 @@
+"""Unit tests for the Table 1 cost model (hand-computed expectations).
+
+Fixtures: ``line3`` is ``A(10M) -[8k]-> B(20M) -[16k]-> C(30M)``;
+``bus3`` has S1=1 GHz, S2=2 GHz, S3=3 GHz on a 100 Mbps bus.
+"""
+
+import pytest
+
+from repro.core.cost import CostBreakdown, CostModel
+from repro.core.mapping import Deployment
+from repro.exceptions import DeploymentError, IncompleteMappingError
+
+MS = 1e-3
+
+
+class TestPrimitives:
+    def test_tproc(self, line3, bus3, cost_line3_bus3):
+        deployment = Deployment({"A": "S1", "B": "S2", "C": "S3"})
+        assert cost_line3_bus3.tproc("A", deployment) == pytest.approx(10 * MS)
+        assert cost_line3_bus3.tproc("B", deployment) == pytest.approx(10 * MS)
+        assert cost_line3_bus3.tproc("C", deployment) == pytest.approx(10 * MS)
+
+    def test_tcomm_cross_server(self, line3, cost_line3_bus3):
+        deployment = Deployment({"A": "S1", "B": "S2", "C": "S3"})
+        message = line3.message("A", "B")
+        # 8000 bits over 100 Mbps = 80 microseconds
+        assert cost_line3_bus3.tcomm(message, deployment) == pytest.approx(8e-5)
+
+    def test_tcomm_colocated_is_zero(self, line3, cost_line3_bus3):
+        deployment = Deployment.all_on_one(line3, "S2")
+        for message in line3.messages:
+            assert cost_line3_bus3.tcomm(message, deployment) == 0.0
+
+    def test_ideal_cycles_proportional_to_power(self, cost_line3_bus3):
+        assert cost_line3_bus3.ideal_cycles("S1") == pytest.approx(10e6)
+        assert cost_line3_bus3.ideal_cycles("S2") == pytest.approx(20e6)
+        assert cost_line3_bus3.ideal_cycles("S3") == pytest.approx(30e6)
+
+    def test_total_weighted_cycles_line(self, cost_line3_bus3):
+        assert cost_line3_bus3.total_weighted_cycles() == pytest.approx(60e6)
+
+    def test_total_weighted_cycles_xor(self, xor_diamond, bus3):
+        model = CostModel(xor_diamond, bus3)
+        # 10 + 1 + 0.7*20 + 0.3*40 + 1 + 10 = 48 Mcycles
+        assert model.total_weighted_cycles() == pytest.approx(48e6)
+
+
+class TestLoads:
+    def test_loads_all_on_one(self, line3, cost_line3_bus3):
+        loads = cost_line3_bus3.loads(Deployment.all_on_one(line3, "S1"))
+        assert loads == pytest.approx({"S1": 60 * MS, "S2": 0.0, "S3": 0.0})
+
+    def test_loads_balanced(self, cost_line3_bus3):
+        loads = cost_line3_bus3.loads(
+            Deployment({"A": "S1", "B": "S2", "C": "S3"})
+        )
+        assert loads == pytest.approx(
+            {"S1": 10 * MS, "S2": 10 * MS, "S3": 10 * MS}
+        )
+
+    def test_loads_probability_weighted(self, xor_diamond, bus3):
+        model = CostModel(xor_diamond, bus3)
+        deployment = Deployment.all_on_one(xor_diamond, "S1")
+        loads = model.loads(deployment)
+        assert loads["S1"] == pytest.approx(48 * MS)
+
+    def test_incomplete_mapping_rejected(self, cost_line3_bus3):
+        with pytest.raises(IncompleteMappingError):
+            cost_line3_bus3.loads(Deployment({"A": "S1"}))
+
+
+class TestTimePenalty:
+    def test_perfectly_fair_is_zero(self, cost_line3_bus3):
+        deployment = Deployment({"A": "S1", "B": "S2", "C": "S3"})
+        assert cost_line3_bus3.time_penalty(deployment) == pytest.approx(0.0)
+
+    def test_all_on_one_mad(self, line3, cost_line3_bus3):
+        deployment = Deployment.all_on_one(line3, "S1")
+        # loads 60/0/0 ms, mean 20 ms, MAD = (40 + 20 + 20)/3 ms
+        assert cost_line3_bus3.time_penalty(deployment) == pytest.approx(
+            80 / 3 * MS
+        )
+
+    @pytest.mark.parametrize(
+        "mode,expected_ms",
+        [
+            ("mad", 80 / 3),
+            ("sum_abs", 80.0),
+            ("max", 40.0),
+            ("std", (1600 / 3 + 400 / 3 + 400 / 3) ** 0.5),
+        ],
+    )
+    def test_penalty_modes(self, line3, bus3, mode, expected_ms):
+        model = CostModel(line3, bus3, penalty_mode=mode)
+        deployment = Deployment.all_on_one(line3, "S1")
+        # loads in ms: 60/0/0, mean 20; deviations 40/20/20
+        assert model.time_penalty(deployment) == pytest.approx(
+            expected_ms * MS, rel=1e-6
+        )
+
+    def test_unknown_penalty_mode_rejected(self, line3, bus3):
+        with pytest.raises(DeploymentError):
+            CostModel(line3, bus3, penalty_mode="variance")
+
+
+class TestExecutionTime:
+    def test_line_is_sum_of_tproc_and_tcomm(self, cost_line3_bus3):
+        deployment = Deployment({"A": "S1", "B": "S2", "C": "S3"})
+        # 10 + 10 + 10 ms processing + (8k + 16k bits)/100Mbps
+        expected = 30 * MS + 8_000 / 100e6 + 16_000 / 100e6
+        assert cost_line3_bus3.execution_time(deployment) == pytest.approx(
+            expected
+        )
+
+    def test_all_on_one_has_no_comm(self, line3, cost_line3_bus3):
+        deployment = Deployment.all_on_one(line3, "S1")
+        assert cost_line3_bus3.execution_time(deployment) == pytest.approx(
+            60 * MS
+        )
+
+    def test_and_join_waits_for_slowest(self, and_diamond, bus3):
+        model = CostModel(and_diamond, bus3)
+        deployment = Deployment.all_on_one(and_diamond, "S1")
+        # start 10 + fork 1 + max(20, 40) + join 1 + end 10 = 62 ms
+        assert model.execution_time(deployment) == pytest.approx(62 * MS)
+
+    def test_or_join_takes_fastest(self, or_diamond, bus3):
+        model = CostModel(or_diamond, bus3)
+        deployment = Deployment.all_on_one(or_diamond, "S1")
+        # start 10 + race 1 + min(5, 500) + first 1 + end 10 = 27 ms
+        assert model.execution_time(deployment) == pytest.approx(27 * MS)
+
+    def test_xor_join_is_expectation(self, xor_diamond, bus3):
+        model = CostModel(xor_diamond, bus3)
+        deployment = Deployment.all_on_one(xor_diamond, "S1")
+        # start 10 + choice 1 + (0.7*20 + 0.3*40) + merge 1 + end 10 = 48 ms
+        assert model.execution_time(deployment) == pytest.approx(48 * MS)
+
+    def test_cross_server_branch_pays_comm(self, and_diamond, bus3):
+        model = CostModel(and_diamond, bus3)
+        deployment = Deployment.all_on_one(and_diamond, "S1")
+        deployment.assign("right", "S2")  # 40M on 2GHz = 20 ms
+        # start 10 + fork 1 + max(left 20, 0.08 + right 20 + 0.08) + join 1
+        # + end 10; right branch: 8k/100M twice = 0.08 ms each way
+        expected = (10 + 1 + 20 + 0.16 + 1 + 10) * MS
+        assert model.execution_time(deployment) == pytest.approx(expected)
+
+
+class TestObjectiveAndEvaluate:
+    def test_objective_is_weighted_sum(self, line3, bus3):
+        model = CostModel(line3, bus3, execution_weight=1.0, penalty_weight=0.0)
+        deployment = Deployment.all_on_one(line3, "S1")
+        assert model.objective(deployment) == pytest.approx(60 * MS)
+        model2 = CostModel(
+            line3, bus3, execution_weight=0.0, penalty_weight=1.0
+        )
+        assert model2.objective(deployment) == pytest.approx(80 / 3 * MS)
+
+    def test_negative_weights_rejected(self, line3, bus3):
+        with pytest.raises(DeploymentError):
+            CostModel(line3, bus3, execution_weight=-0.1)
+
+    def test_evaluate_breakdown_consistency(self, line3, cost_line3_bus3):
+        deployment = Deployment({"A": "S1", "B": "S2", "C": "S3"})
+        breakdown = cost_line3_bus3.evaluate(deployment)
+        assert breakdown.execution_time == pytest.approx(
+            cost_line3_bus3.execution_time(deployment)
+        )
+        assert breakdown.time_penalty == pytest.approx(
+            cost_line3_bus3.time_penalty(deployment)
+        )
+        assert breakdown.objective == pytest.approx(
+            0.5 * breakdown.execution_time + 0.5 * breakdown.time_penalty
+        )
+        assert breakdown.loads == pytest.approx(
+            cost_line3_bus3.loads(deployment)
+        )
+        assert breakdown.processing_time == pytest.approx(30 * MS)
+        assert breakdown.communication_time == pytest.approx(24_000 / 100e6)
+
+    def test_dominates(self):
+        a = CostBreakdown(1.0, 1.0, 1.0)
+        b = CostBreakdown(2.0, 1.0, 1.5)
+        c = CostBreakdown(0.5, 2.0, 1.25)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c) and not c.dominates(a)
+        assert not a.dominates(a)
+
+
+class TestModelGuards:
+    def test_cyclic_workflow_rejected(self, line3, bus3):
+        line3.connect("C", "A", 1)
+        with pytest.raises(DeploymentError):
+            CostModel(line3, bus3)
+
+    def test_disconnected_network_rejected(self, line3):
+        from repro.network.topology import Server, ServerNetwork
+
+        network = ServerNetwork("disc")
+        network.add_servers([Server("S1", 1e9), Server("S2", 1e9)])
+        from repro.exceptions import DisconnectedNetworkError
+
+        with pytest.raises(DisconnectedNetworkError):
+            CostModel(line3, network)
+
+    def test_probability_weighting_auto_detection(
+        self, line3, xor_diamond, bus3
+    ):
+        assert CostModel(line3, bus3).use_probabilities is False
+        assert CostModel(xor_diamond, bus3).use_probabilities is True
+
+    def test_probability_weighting_override(self, xor_diamond, bus3):
+        model = CostModel(xor_diamond, bus3, use_probabilities=False)
+        assert model.node_probability("left") == 1.0
+        # unweighted total: 10+1+20+40+1+10 = 82 Mcycles
+        assert model.total_weighted_cycles() == pytest.approx(82e6)

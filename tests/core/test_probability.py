@@ -1,0 +1,100 @@
+"""Unit tests for execution-probability propagation."""
+
+import pytest
+
+from repro.core.builder import WorkflowBuilder
+from repro.core.probability import execution_probabilities, message_probabilities
+from repro.core.workflow import NodeKind
+
+
+def test_line_probabilities_are_all_one(line5):
+    probs = execution_probabilities(line5)
+    assert all(p == 1.0 for p in probs.values())
+
+
+def test_xor_branch_probabilities(xor_diamond):
+    probs = execution_probabilities(xor_diamond)
+    assert probs["start"] == 1.0
+    assert probs["choice"] == 1.0
+    assert probs["left"] == pytest.approx(0.7)
+    assert probs["right"] == pytest.approx(0.3)
+    # the join and everything after it always execute
+    assert probs["merge"] == pytest.approx(1.0)
+    assert probs["end"] == pytest.approx(1.0)
+
+
+def test_and_branches_always_execute(and_diamond):
+    probs = execution_probabilities(and_diamond)
+    assert probs["left"] == 1.0
+    assert probs["right"] == 1.0
+    assert probs["join"] == 1.0
+
+
+def test_or_branches_always_execute(or_diamond):
+    probs = execution_probabilities(or_diamond)
+    assert probs["fast"] == 1.0
+    assert probs["slow"] == 1.0
+    assert probs["first"] == 1.0
+
+
+def test_nested_xor_multiplies():
+    builder = WorkflowBuilder("nested-xor", default_message_bits=10)
+    builder.task("t", 1e6)
+    builder.split(NodeKind.XOR_SPLIT, "outer", 1e6)
+    builder.branch(probability=0.5)
+    builder.split(NodeKind.XOR_SPLIT, "inner", 1e6)
+    builder.branch(probability=0.4)
+    builder.task("deep", 1e6)
+    builder.branch(probability=0.6)
+    builder.task("deep2", 1e6)
+    builder.join("inner_end", 1e6)
+    builder.branch(probability=0.5)
+    builder.task("other", 1e6)
+    builder.join("outer_end", 1e6)
+    workflow = builder.build()
+    probs = execution_probabilities(workflow)
+    assert probs["inner"] == pytest.approx(0.5)
+    assert probs["deep"] == pytest.approx(0.5 * 0.4)
+    assert probs["deep2"] == pytest.approx(0.5 * 0.6)
+    assert probs["inner_end"] == pytest.approx(0.5)
+    assert probs["outer_end"] == pytest.approx(1.0)
+
+
+def test_xor_inside_and_keeps_region_probability():
+    builder = WorkflowBuilder("xor-in-and", default_message_bits=10)
+    builder.task("t", 1e6)
+    builder.split(NodeKind.AND_SPLIT, "fork", 1e6)
+    builder.branch()
+    builder.split(NodeKind.XOR_SPLIT, "x", 1e6)
+    builder.branch(probability=0.25)
+    builder.task("rare", 1e6)
+    builder.branch(probability=0.75)
+    builder.task("common", 1e6)
+    builder.join("xe", 1e6)
+    builder.branch()
+    builder.task("steady", 1e6)
+    builder.join("joined", 1e6)
+    workflow = builder.build()
+    probs = execution_probabilities(workflow)
+    assert probs["rare"] == pytest.approx(0.25)
+    assert probs["steady"] == 1.0
+    assert probs["joined"] == 1.0
+
+
+def test_message_probabilities(xor_diamond):
+    msg_probs = message_probabilities(xor_diamond)
+    assert msg_probs[("choice", "left")] == pytest.approx(0.7)
+    assert msg_probs[("choice", "right")] == pytest.approx(0.3)
+    assert msg_probs[("left", "merge")] == pytest.approx(0.7)
+    assert msg_probs[("start", "choice")] == 1.0
+
+
+def test_message_probabilities_accept_precomputed(xor_diamond):
+    node_probs = execution_probabilities(xor_diamond)
+    msg_probs = message_probabilities(xor_diamond, node_probs)
+    assert msg_probs[("right", "merge")] == pytest.approx(0.3)
+
+
+def test_probabilities_clamped_to_unit_interval(xor_diamond):
+    probs = execution_probabilities(xor_diamond)
+    assert all(0.0 <= p <= 1.0 for p in probs.values())

@@ -1,0 +1,159 @@
+"""Unit tests for the well-formedness checker."""
+
+import pytest
+
+from repro.core.validation import assert_well_formed, check_well_formed
+from repro.core.workflow import NodeKind, Operation, Workflow
+from repro.exceptions import MalformedWorkflowError
+
+
+def _wf(*ops):
+    workflow = Workflow("test")
+    workflow.add_operations(ops)
+    return workflow
+
+
+def test_empty_workflow_is_malformed():
+    report = check_well_formed(Workflow("empty"))
+    assert not report.ok
+    assert any("empty" in p for p in report.problems)
+
+
+def test_purely_operational_line_is_well_formed(line3):
+    report = check_well_formed(line3)
+    assert report.ok
+    assert report.problems == []
+    assert report.matches == {}
+
+
+def test_cyclic_workflow_is_malformed(line3):
+    line3.connect("C", "A", 1)
+    report = check_well_formed(line3)
+    assert not report.ok
+    assert any("cycle" in p for p in report.problems)
+
+
+def test_diamond_regions_match(xor_diamond, and_diamond, or_diamond):
+    assert check_well_formed(xor_diamond).matches == {"choice": "merge"}
+    assert check_well_formed(and_diamond).matches == {"fork": "join"}
+    assert check_well_formed(or_diamond).matches == {"race": "first"}
+
+
+def test_split_without_join_is_malformed():
+    workflow = _wf(
+        Operation("s", 1e6, NodeKind.AND_SPLIT),
+        Operation("a", 1e6),
+        Operation("b", 1e6),
+    )
+    workflow.connect("s", "a", 1)
+    workflow.connect("s", "b", 1)
+    report = check_well_formed(workflow)
+    assert not report.ok
+    assert any("no post-dominating join" in p for p in report.problems)
+
+
+def test_mismatched_complement_kind_is_malformed():
+    workflow = _wf(
+        Operation("s", 1e6, NodeKind.AND_SPLIT),
+        Operation("a", 1e6),
+        Operation("b", 1e6),
+        Operation("j", 1e6, NodeKind.XOR_JOIN),
+    )
+    workflow.connect("s", "a", 1)
+    workflow.connect("s", "b", 1)
+    workflow.connect("a", "j", 1)
+    workflow.connect("b", "j", 1)
+    report = check_well_formed(workflow)
+    assert not report.ok
+    assert any("expected a /and node" in p for p in report.problems)
+
+
+def test_orphan_join_is_malformed():
+    workflow = _wf(
+        Operation("a", 1e6),
+        Operation("j", 1e6, NodeKind.AND_JOIN),
+    )
+    workflow.connect("a", "j", 1)
+    report = check_well_formed(workflow)
+    assert not report.ok
+    assert any("matches no split" in p for p in report.problems)
+
+
+def test_path_escaping_region_is_malformed():
+    # s -> (a -> j, b -> exit): branch b bypasses the join
+    workflow = _wf(
+        Operation("s", 1e6, NodeKind.AND_SPLIT),
+        Operation("a", 1e6),
+        Operation("b", 1e6),
+        Operation("j", 1e6, NodeKind.AND_JOIN),
+        Operation("exit", 1e6),
+    )
+    workflow.connect("s", "a", 1)
+    workflow.connect("s", "b", 1)
+    workflow.connect("a", "j", 1)
+    workflow.connect("j", "exit", 1)
+    workflow.connect("b", "exit", 1)
+    report = check_well_formed(workflow)
+    assert not report.ok
+
+
+def test_overlapping_regions_are_malformed():
+    # two splits sharing one join: s1 -> (x, y), s2 inside one branch also
+    # closed by the same join
+    workflow = _wf(
+        Operation("s1", 1e6, NodeKind.AND_SPLIT),
+        Operation("s2", 1e6, NodeKind.AND_SPLIT),
+        Operation("x", 1e6),
+        Operation("y", 1e6),
+        Operation("z", 1e6),
+        Operation("j", 1e6, NodeKind.AND_JOIN),
+    )
+    workflow.connect("s1", "s2", 1)
+    workflow.connect("s1", "x", 1)
+    workflow.connect("s2", "y", 1)
+    workflow.connect("s2", "z", 1)
+    workflow.connect("x", "j", 1)
+    workflow.connect("y", "j", 1)
+    workflow.connect("z", "j", 1)
+    report = check_well_formed(workflow)
+    assert not report.ok
+
+
+def test_bad_xor_probabilities_reported():
+    workflow = _wf(
+        Operation("x", 1e6, NodeKind.XOR_SPLIT),
+        Operation("a", 1e6),
+        Operation("b", 1e6),
+        Operation("j", 1e6, NodeKind.XOR_JOIN),
+    )
+    workflow.connect("x", "a", 1, probability=0.9)
+    workflow.connect("x", "b", 1, probability=0.9)
+    workflow.connect("a", "j", 1)
+    workflow.connect("b", "j", 1)
+    report = check_well_formed(workflow)
+    assert not report.ok
+    assert any("probabilities sum" in p for p in report.problems)
+
+
+def test_assert_well_formed_raises_with_details():
+    workflow = _wf(
+        Operation("s", 1e6, NodeKind.OR_SPLIT),
+        Operation("a", 1e6),
+        Operation("b", 1e6),
+    )
+    workflow.connect("s", "a", 1)
+    workflow.connect("s", "b", 1)
+    with pytest.raises(MalformedWorkflowError) as excinfo:
+        assert_well_formed(workflow)
+    assert "s" in str(excinfo.value)
+
+
+def test_assert_well_formed_returns_report(xor_diamond):
+    report = assert_well_formed(xor_diamond)
+    assert report.ok
+    assert bool(report) is True
+
+
+def test_report_bool_reflects_ok():
+    report = check_well_formed(Workflow("empty"))
+    assert bool(report) is False

@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII scatter renderer."""
+
+import pytest
+
+from repro.experiments.reporting import ascii_scatter
+
+
+def test_markers_and_legend():
+    plot = ascii_scatter(
+        {"FairLoad": [(0.1, 0.01)], "HOLM": [(0.2, 0.005)]},
+        width=40,
+        height=10,
+    )
+    assert "A=FairLoad" in plot and "B=HOLM" in plot
+    assert "A" in plot and "B" in plot
+    assert "execution time" in plot and "time penalty" in plot
+
+
+def test_title_rendered():
+    plot = ascii_scatter({"X": [(1.0, 1.0)]}, title="fig6")
+    assert plot.splitlines()[0] == "fig6"
+
+
+def test_empty_points():
+    plot = ascii_scatter({})
+    assert "(no points)" in plot
+
+
+def test_overlap_marker():
+    plot = ascii_scatter(
+        {"one": [(0.5, 0.5)], "two": [(0.5, 0.5)]}, width=10, height=5
+    )
+    assert "*" in plot
+
+
+def test_same_algorithm_overlap_keeps_marker():
+    plot = ascii_scatter({"one": [(0.5, 0.5), (0.5, 0.5)]}, width=10, height=5)
+    grid_rows = [line for line in plot.splitlines() if line.startswith("|")]
+    assert all("*" not in row for row in grid_rows)
+
+
+def test_extent_in_axis_labels():
+    plot = ascii_scatter({"X": [(0.25, 0.004)]})
+    assert "0.25" in plot and "0.004" in plot
+
+
+def test_plot_area_validated():
+    with pytest.raises(ValueError):
+        ascii_scatter({"X": [(1, 1)]}, width=4, height=2)
+
+
+def test_grid_dimensions():
+    plot = ascii_scatter({"X": [(1.0, 1.0)]}, width=30, height=8)
+    rows = [line for line in plot.splitlines() if line.startswith("|")]
+    assert len(rows) == 8
+    assert all(len(row) == 31 for row in rows)  # '|' + width
+
+
+def test_origin_anchoring():
+    """A point at (max, 0) must land in the bottom-right corner."""
+    plot = ascii_scatter(
+        {"X": [(2.0, 0.0)], "Y": [(1.0, 1.0)]}, width=20, height=6
+    )
+    rows = [line for line in plot.splitlines() if line.startswith("|")]
+    assert rows[-1].rstrip().endswith("A")  # X is marker A, y=0 -> bottom

@@ -1,0 +1,100 @@
+"""Unit tests for the one-call figure reproduction API."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figures import (
+    FIGURES,
+    ReproductionScale,
+    fig6,
+    quality_tables,
+    reproduce_all,
+)
+
+
+def tiny_scale():
+    return ReproductionScale(
+        repetitions=2, quality_experiments=1, quality_samples=50
+    )
+
+
+class TestScale:
+    def test_named_scales(self):
+        quick = ReproductionScale.named("quick")
+        paper = ReproductionScale.named("paper")
+        assert paper.quality_samples == 32_000
+        assert paper.quality_experiments == 50
+        assert quick.quality_samples < paper.quality_samples
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            ReproductionScale.named("galactic")
+
+
+class TestProducers:
+    def test_fig6_writes_expected_files(self, tmp_path):
+        paths = fig6(tmp_path, tiny_scale())
+        names = {path.name for path in paths}
+        assert "fig6_line_bus_1Mbps.txt" in names
+        assert "fig6_line_bus_100Mbps.txt" in names
+        assert "fig6_weight_sensitivity.txt" in names
+        for path in paths:
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_quality_tables_cover_both_shapes(self, tmp_path):
+        paths = quality_tables(tmp_path, tiny_scale())
+        names = {path.name for path in paths}
+        assert "quality_line_1Mbps.txt" in names
+        assert "quality_hybrid_100Mbps.txt" in names
+        content = (tmp_path / "quality_line_1Mbps.txt").read_text()
+        assert "HeavyOps-LargeMsgs" in content
+
+    def test_fig7_fig8_writes_pooled_and_per_structure(self, tmp_path):
+        from repro.experiments.figures import fig7_fig8
+
+        paths = fig7_fig8(tmp_path, tiny_scale())
+        names = {path.name for path in paths}
+        assert "fig7_graph_bus_1Mbps.txt" in names
+        assert "fig8_bushy_1Mbps.txt" in names
+        assert "fig8_lengthy_100Mbps.txt" in names
+        pooled = (tmp_path / "fig7_graph_bus_1Mbps.txt").read_text()
+        assert "HeavyOps-LargeMsgs" in pooled
+        assert "legend:" in pooled  # the ASCII scatter rendering
+
+    def test_registry_covers_all_producers(self):
+        assert set(FIGURES) == {"fig6", "fig7_fig8", "quality"}
+
+
+def test_reproduce_all_quick_substitute(tmp_path, monkeypatch):
+    """reproduce_all drives every producer with the resolved scale."""
+    calls = []
+
+    def fake_producer(output_dir, scale):
+        calls.append((output_dir, scale))
+        return []
+
+    monkeypatch.setitem(FIGURES, "fig6", fake_producer)
+    monkeypatch.setitem(FIGURES, "fig7_fig8", fake_producer)
+    monkeypatch.setitem(FIGURES, "quality", fake_producer)
+    paths = reproduce_all(tmp_path, scale="quick")
+    assert paths == []
+    assert len(calls) == 3
+    assert all(s == ReproductionScale.named("quick") for _, s in calls)
+
+
+def test_cli_figures_command(tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+    import repro.experiments.figures as figures_module
+
+    def fake_reproduce_all(output, scale="quick"):
+        target = tmp_path / "one.txt"
+        target.write_text("data")
+        return [target]
+
+    monkeypatch.setattr(
+        figures_module, "reproduce_all", fake_reproduce_all
+    )
+    code = main(["figures", "--output", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 files under" in out

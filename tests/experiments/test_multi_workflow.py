@@ -1,0 +1,93 @@
+"""Unit tests for the multi-workflow deployment extension."""
+
+import pytest
+
+from repro.algorithms.fair_load import FairLoad
+from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.core.cost import CostModel
+from repro.exceptions import ExperimentError
+from repro.experiments.multi_workflow import (
+    combine_workflows,
+    deploy_workflows,
+    split_deployment,
+)
+from repro.workloads.generator import line_workflow
+
+
+class TestCombine:
+    def test_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            combine_workflows([])
+
+    def test_disjoint_union(self, line3, line5):
+        combined = combine_workflows([line3, line5])
+        assert len(combined) == len(line3) + len(line5)
+        assert len(combined.messages) == len(line3.messages) + len(
+            line5.messages
+        )
+        assert "w0.A" in combined and "w1.O1" in combined
+        # components stay disconnected
+        assert combined.predecessors("w1.O1") == ()
+        assert combined.successors("w0.C") == ()
+
+    def test_name_collisions_resolved_by_prefix(self, line3):
+        combined = combine_workflows([line3, line3.copy()])
+        assert "w0.A" in combined and "w1.A" in combined
+
+    def test_structure_preserved(self, xor_diamond, line3):
+        combined = combine_workflows([xor_diamond, line3])
+        assert combined.message(
+            "w0.choice", "w0.left"
+        ).probability == pytest.approx(0.7)
+        assert (
+            combined.operation("w0.choice").kind
+            is xor_diamond.operation("choice").kind
+        )
+
+
+class TestSplit:
+    def test_roundtrip(self, line3, line5, bus3):
+        workflows = [line3, line5]
+        combined = combine_workflows(workflows)
+        deployment = FairLoad().deploy(combined, bus3)
+        parts = split_deployment(deployment, workflows)
+        assert parts[0].is_complete(line3)
+        assert parts[1].is_complete(line5)
+        assert parts[0].server_of("A") == deployment.server_of("w0.A")
+
+
+class TestDeployWorkflows:
+    def test_returns_per_workflow_mappings_and_loads(
+        self, line3, line5, bus3
+    ):
+        parts, loads = deploy_workflows(
+            [line3, line5], bus3, HeavyOpsLargeMsgs()
+        )
+        assert len(parts) == 2
+        assert parts[0].is_complete(line3)
+        assert set(loads) == set(bus3.server_names)
+        assert sum(loads.values()) > 0
+
+    def test_combined_execution_is_max_of_components(self, line3, bus3):
+        """Disjoint components run concurrently: the union's Texecute is
+        the max over the per-workflow times under the same placement."""
+        other = line3.scaled(cycle_factor=5.0, name="heavy")
+        combined = combine_workflows([line3, other])
+        model = CostModel(combined, bus3)
+        deployment = FairLoad().deploy(combined, bus3, cost_model=model)
+        union_time = model.execution_time(deployment)
+        parts = split_deployment(deployment, [line3, other])
+        part_times = [
+            CostModel(line3, bus3).execution_time(parts[0]),
+            CostModel(other, bus3).execution_time(parts[1]),
+        ]
+        assert union_time == pytest.approx(max(part_times))
+
+    def test_fairness_considers_total_portfolio(self, bus3):
+        """Deploying jointly balances the combined load."""
+        workflows = [line_workflow(8, seed=s) for s in range(3)]
+        _, loads = deploy_workflows(workflows, bus3, FairLoad())
+        values = list(loads.values())
+        mean = sum(values) / len(values)
+        # worst-fit keeps every server near the mean
+        assert max(abs(v - mean) for v in values) <= mean

@@ -1,0 +1,131 @@
+"""Unit tests for Pareto analysis and weighted distance measures."""
+
+import pytest
+
+from repro.core.cost import CostBreakdown
+from repro.core.mapping import Deployment
+from repro.exceptions import ExperimentError
+from repro.experiments.pareto import (
+    distance_to_origin,
+    pareto_front,
+    rank_by_distance,
+    weight_sensitivity_table,
+)
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner, RunRecord
+
+
+def record(execution, penalty, algorithm="X", repetition=0):
+    return RunRecord(
+        algorithm=algorithm,
+        repetition=repetition,
+        cost=CostBreakdown(execution, penalty, execution + penalty),
+        deployment=Deployment(),
+    )
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        records = [
+            record(1.0, 1.0),
+            record(2.0, 2.0),  # dominated by the first
+            record(0.5, 3.0),
+            record(3.0, 0.5),
+        ]
+        front = pareto_front(records)
+        costs = {(r.cost.execution_time, r.cost.time_penalty) for r in front}
+        assert costs == {(1.0, 1.0), (0.5, 3.0), (3.0, 0.5)}
+
+    def test_sorted_by_execution(self):
+        front = pareto_front([record(3.0, 0.5), record(0.5, 3.0)])
+        times = [r.cost.execution_time for r in front]
+        assert times == sorted(times)
+
+    def test_duplicates_kept_once(self):
+        front = pareto_front([record(1.0, 1.0), record(1.0, 1.0)])
+        assert len(front) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_front_of_real_experiment_is_nondominated(self):
+        runner = ExperimentRunner(["FairLoad", "HeavyOps-LargeMsgs", "Random"])
+        result = runner.run(
+            ExperimentConfig(
+                num_operations=10,
+                num_servers=3,
+                bus_speed_bps=1e6,
+                repetitions=4,
+                seed=3,
+            )
+        )
+        front = pareto_front(result.records)
+        assert front
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not a.cost.dominates(b.cost)
+
+
+class TestDistance:
+    def test_euclidean(self):
+        cost = CostBreakdown(3.0, 4.0, 7.0)
+        assert distance_to_origin(cost) == pytest.approx(5.0)
+
+    def test_l1_recovers_weighted_sum(self):
+        cost = CostBreakdown(3.0, 4.0, 7.0)
+        assert distance_to_origin(cost, 0.5, 0.5, order=1) == pytest.approx(
+            3.5
+        )
+
+    def test_infinity_order_is_weighted_max(self):
+        cost = CostBreakdown(3.0, 4.0, 7.0)
+        assert distance_to_origin(
+            cost, order=float("inf")
+        ) == pytest.approx(4.0)
+
+    def test_weights_scale_axes(self):
+        cost = CostBreakdown(3.0, 4.0, 7.0)
+        assert distance_to_origin(cost, 1.0, 0.0) == pytest.approx(3.0)
+        assert distance_to_origin(cost, 0.0, 1.0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        cost = CostBreakdown(1.0, 1.0, 2.0)
+        with pytest.raises(ExperimentError):
+            distance_to_origin(cost, -1.0, 1.0)
+        with pytest.raises(ExperimentError):
+            distance_to_origin(cost, order=0.5)
+
+
+class TestRankings:
+    @pytest.fixture(scope="class")
+    def result(self):
+        runner = ExperimentRunner(["FairLoad", "HeavyOps-LargeMsgs"])
+        return runner.run(
+            ExperimentConfig(
+                num_operations=12,
+                num_servers=4,
+                bus_speed_bps=1e6,
+                repetitions=5,
+                seed=8,
+            )
+        )
+
+    def test_pure_execution_weighting_crowns_holm(self, result):
+        rankings = rank_by_distance(result, 1.0, 0.0)
+        assert rankings[0][0] == "HeavyOps-LargeMsgs"
+
+    def test_pure_penalty_weighting_crowns_fair_load(self, result):
+        rankings = rank_by_distance(result, 0.0, 1.0)
+        assert rankings[0][0] == "FairLoad"
+
+    def test_rankings_cover_all_algorithms(self, result):
+        rankings = rank_by_distance(result)
+        assert {name for name, _ in rankings} == set(result.algorithms())
+        values = [value for _, value in rankings]
+        assert values == sorted(values)
+
+    def test_sensitivity_table(self, result):
+        table = weight_sensitivity_table(result)
+        assert len(table) == 4
+        text = table.render()
+        assert "winner" in text and ">" in text

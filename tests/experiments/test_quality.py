@@ -1,0 +1,99 @@
+"""Unit tests for the deviation-from-sampled-best quality protocol."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.quality import QualityProtocol
+from repro.experiments.runner import ExperimentConfig
+
+
+@pytest.fixture
+def small_config():
+    return ExperimentConfig(
+        num_operations=7, num_servers=3, repetitions=1, seed=11,
+        bus_speed_bps=1e6,
+    )
+
+
+def test_rejects_zero_experiments():
+    with pytest.raises(ExperimentError):
+        QualityProtocol(experiments=0)
+
+
+def test_report_structure(small_config):
+    protocol = QualityProtocol(
+        algorithms=("FairLoad", "HeavyOps-LargeMsgs"),
+        experiments=2,
+        samples=100,
+    )
+    report = protocol.run(small_config)
+    assert set(report.algorithms()) == {"FairLoad", "HeavyOps-LargeMsgs"}
+    assert len(report.records) == 4  # 2 algorithms x 2 experiments
+    for name in report.algorithms():
+        worst = report.worst_case(name)
+        mean = report.mean(name)
+        assert worst[0] >= mean[0] >= 0
+        assert worst[1] >= mean[1] >= 0
+    with pytest.raises(ExperimentError):
+        report.worst_case("nope")
+
+
+def test_deviations_are_nonnegative(small_config):
+    protocol = QualityProtocol(experiments=2, samples=100)
+    report = protocol.run(small_config)
+    for record in report.records:
+        assert record.execution_deviation >= 0
+        assert record.penalty_deviation >= 0
+
+
+def test_reproducible(small_config):
+    protocol = QualityProtocol(
+        algorithms=("HeavyOps-LargeMsgs",), experiments=2, samples=100
+    )
+    r1 = protocol.run(small_config)
+    r2 = protocol.run(small_config)
+    assert [rec.execution_deviation for rec in r1.records] == [
+        rec.execution_deviation for rec in r2.records
+    ]
+
+
+def test_more_samples_never_lower_deviation(small_config):
+    """A larger sample can only find a better (or equal) reference, so a
+    heuristic's measured deviation is monotonically non-decreasing."""
+    small = QualityProtocol(
+        algorithms=("HeavyOps-LargeMsgs",), experiments=1, samples=50
+    ).run(small_config)
+    large = QualityProtocol(
+        algorithms=("HeavyOps-LargeMsgs",), experiments=1, samples=2_000
+    ).run(small_config)
+    assert (
+        large.records[0].execution_deviation
+        >= small.records[0].execution_deviation - 1e-12
+    )
+
+
+def test_penalty_gap_reported(small_config):
+    """The scale-stable gap metric is recorded and bounded sensibly."""
+    protocol = QualityProtocol(
+        algorithms=("FairLoad", "HeavyOps-LargeMsgs"),
+        experiments=2,
+        samples=200,
+    )
+    report = protocol.run(small_config)
+    for record in report.records:
+        assert record.penalty_gap_vs_load >= 0
+    for name in report.algorithms():
+        assert report.worst_penalty_gap(name) >= 0
+    # FairLoad is the fairness-optimal heuristic: its gap stays small
+    assert report.worst_penalty_gap("FairLoad") < 0.5
+    text = report.table().render()
+    assert "worst_pen_gap/load" in text
+
+
+def test_table_renders(small_config):
+    protocol = QualityProtocol(
+        algorithms=("FairLoad",), experiments=1, samples=50
+    )
+    table = protocol.run(small_config).table()
+    text = table.render()
+    assert "FairLoad" in text and "%" in text

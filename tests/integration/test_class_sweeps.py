@@ -1,0 +1,101 @@
+"""Integration tests for the Class A and Class B sweeps (section 4.1).
+
+The paper describes (without plotting) what these sweeps show; the
+assertions pin the described trends on fixed seeds.
+"""
+
+import pytest
+
+from repro.experiments.classes import class_a_configs, class_b_configs
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+def spread(result):
+    values = [
+        result.mean_execution_time(name) for name in result.algorithms()
+    ]
+    return max(values) / min(values)
+
+
+class TestClassA:
+    """Vary link capacity and message size, CPU side fixed."""
+
+    def test_communication_pressure_differentiates(self, runner):
+        """Slow links + complex messages: the algorithms diverge hard."""
+        configs = class_a_configs(
+            repetitions=4, speeds=(1e6,), message_scales=("complex",)
+        )
+        result = runner.run(configs[0])
+        assert spread(result) > 3.0
+        # HOLM dodges the expensive messages entirely
+        assert result.mean_execution_time(
+            "HeavyOps-LargeMsgs"
+        ) < 0.3 * result.mean_execution_time("FairLoad")
+
+    def test_cheap_communication_converges(self, runner):
+        """Gigabit links: every algorithm lands in the same place."""
+        for scale in ("simple", "complex"):
+            configs = class_a_configs(
+                repetitions=4, speeds=(1000e6,), message_scales=(scale,)
+            )
+            result = runner.run(configs[0])
+            assert spread(result) < 1.02, scale
+
+    def test_small_messages_blunt_the_slow_link(self, runner):
+        """Even at 1 Mbps, simple SOAP messages barely differentiate."""
+        configs = class_a_configs(
+            repetitions=4, speeds=(1e6,), message_scales=("simple",)
+        )
+        result = runner.run(configs[0])
+        assert spread(result) < 1.5
+
+
+class TestClassB:
+    """Vary CPU power and workload, communication side fixed."""
+
+    def test_execution_scales_with_cycles_over_power(self, runner):
+        """Texecute tracks C(O)/P(S): 100x the cycles ~ 100x the time,
+        3x the power ~ a third of the time."""
+        points = {
+            (cycles, power): runner.run(
+                class_b_configs(
+                    repetitions=4, cycles=(cycles,), powers=(power,)
+                )[0]
+            ).mean_execution_time("FairLoad")
+            for cycles in (5e6, 500e6)
+            for power in (1e9, 3e9)
+        }
+        assert points[(500e6, 1e9)] / points[(5e6, 1e9)] == pytest.approx(
+            100.0, rel=0.15
+        )
+        assert points[(5e6, 1e9)] / points[(5e6, 3e9)] == pytest.approx(
+            3.0, rel=0.25
+        )
+
+    def test_cpu_side_does_not_differentiate_algorithms(self, runner):
+        """With communication pinned cheap, the heuristics are
+        near-indistinguishable at every CPU point -- why the paper
+        reports Class C only."""
+        for cycles in (5e6, 500e6):
+            for power in (1e9, 3e9):
+                result = runner.run(
+                    class_b_configs(
+                        repetitions=4, cycles=(cycles,), powers=(power,)
+                    )[0]
+                )
+                assert spread(result) < 1.30, (cycles, power)
+
+    def test_heavier_work_shrinks_relative_spread(self, runner):
+        """Fixed communication cost amortises over bigger computations."""
+        light = runner.run(
+            class_b_configs(repetitions=4, cycles=(5e6,), powers=(1e9,))[0]
+        )
+        heavy = runner.run(
+            class_b_configs(repetitions=4, cycles=(500e6,), powers=(1e9,))[0]
+        )
+        assert spread(heavy) < spread(light)

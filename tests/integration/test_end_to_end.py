@@ -1,0 +1,131 @@
+"""End-to-end integration: full pipelines across all library layers."""
+
+import random
+
+import pytest
+
+from repro.algorithms.base import algorithm_registry
+from repro.algorithms.line_line import LineLine
+from repro.core.constraints import ConstraintSet, MaxTimePenalty
+from repro.core.cost import CostModel
+from repro.experiments.multi_workflow import deploy_workflows
+from repro.simulation.engine import SimulationEngine
+from repro.workloads.gallery import healthcare_workflow, ministry_network
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_graph_workflow,
+    random_line_network,
+)
+
+
+def test_healthcare_pipeline_analytic_vs_simulated():
+    """The motivating example (Fig. 1): deploy, cost, simulate, compare."""
+    workflow = healthcare_workflow()
+    network = ministry_network()
+    model = CostModel(workflow, network)
+    registry = algorithm_registry()
+    for name in ("FairLoad", "FL-TieResolver2", "HeavyOps-LargeMsgs"):
+        deployment = registry[name]().deploy(
+            workflow, network, cost_model=model, rng=1
+        )
+        analytic = model.execution_time(deployment)
+        engine = SimulationEngine(workflow, network, deployment)
+        measured = engine.expected_makespan(runs=400, rng=2)
+        assert measured == pytest.approx(analytic, rel=0.05), name
+
+
+def test_simulation_confirms_analytic_ranking_on_slow_bus():
+    """The DES must agree with the model about who wins on a congested
+    bus -- the headline comparison of the whole paper."""
+    from repro.network.topology import bus_network
+    from repro.workloads.parameters import ClassCParameters
+
+    parameters = ClassCParameters.paper().with_fixed_bus_speed(1e6)
+    workflow = line_workflow(19, seed=5, parameters=parameters)
+    network = bus_network([1e9, 2e9, 2e9, 3e9, 2e9], speed_bps=1e6)
+    model = CostModel(workflow, network)
+    registry = algorithm_registry()
+    measured = {}
+    for name in ("FairLoad", "HeavyOps-LargeMsgs"):
+        deployment = registry[name]().deploy(
+            workflow, network, cost_model=model, rng=3
+        )
+        measured[name] = (
+            SimulationEngine(workflow, network, deployment).run().makespan
+        )
+    assert measured["HeavyOps-LargeMsgs"] < measured["FairLoad"]
+
+
+def test_line_line_pipeline_with_simulation():
+    workflow = line_workflow(12, seed=8)
+    network = random_line_network(4, seed=9)
+    model = CostModel(workflow, network)
+    deployment = LineLine().deploy(workflow, network, cost_model=model)
+    analytic = model.execution_time(deployment)
+    measured = SimulationEngine(workflow, network, deployment).run().makespan
+    assert measured == pytest.approx(analytic, rel=1e-9)
+
+
+def test_constraint_filtered_deployment_selection():
+    """Pick the fastest algorithm subject to a fairness constraint --
+    the section 2.2 problem statement with a non-empty constraint set."""
+    workflow = healthcare_workflow()
+    network = ministry_network(speed_bps=1e6)
+    model = CostModel(workflow, network)
+    constraints = ConstraintSet([MaxTimePenalty(0.05)])
+    registry = algorithm_registry()
+    admissible = {}
+    for name in (
+        "FairLoad",
+        "FL-TieResolver2",
+        "FL-MergeMsgEnds",
+        "HeavyOps-LargeMsgs",
+    ):
+        deployment = registry[name]().deploy(
+            workflow, network, cost_model=model, rng=4
+        )
+        cost = model.evaluate(deployment)
+        if constraints.satisfied(cost):
+            admissible[name] = cost
+    assert admissible, "at least one algorithm must satisfy the constraint"
+    winner = min(admissible, key=lambda n: admissible[n].execution_time)
+    assert admissible[winner].time_penalty <= 0.05
+
+
+def test_multi_workflow_portfolio_deployment():
+    """Section 6 extension: several workflows, one fair server pool."""
+    from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+
+    workflows = [
+        healthcare_workflow(),
+        line_workflow(10, seed=11),
+        random_graph_workflow(12, GraphStructure.HYBRID, seed=12),
+    ]
+    network = ministry_network()
+    deployments, loads = deploy_workflows(
+        workflows, network, HeavyOpsLargeMsgs(), rng=random.Random(13)
+    )
+    for workflow, deployment in zip(workflows, deployments):
+        deployment.validate(workflow, network)
+        # each workflow can be simulated under its own projection
+        result = SimulationEngine(workflow, network, deployment).run()
+        assert result.makespan > 0
+    assert sum(loads.values()) > 0
+
+
+def test_public_api_quickstart():
+    """The README quickstart must keep working verbatim."""
+    from repro import (
+        CostModel as PublicCostModel,
+        HeavyOpsLargeMsgs,
+        bus_network,
+        line_workflow as public_line_workflow,
+    )
+
+    workflow = public_line_workflow(19, seed=7)
+    network = bus_network([1e9, 2e9, 2e9, 3e9, 2e9], speed_bps=100e6)
+    mapping = HeavyOpsLargeMsgs().deploy(workflow, network)
+    breakdown = PublicCostModel(workflow, network).evaluate(mapping)
+    assert breakdown.execution_time > 0
+    assert breakdown.objective > 0

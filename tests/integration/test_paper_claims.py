@@ -1,0 +1,225 @@
+"""Integration tests: the paper's qualitative claims must reproduce.
+
+These are scaled-down versions of the Class C experiments (section 4.2)
+with fixed seeds; each test asserts one sentence of the paper's
+evaluation narrative. Absolute numbers differ (different generator,
+different RNG), but the orderings and stability claims are the
+reproduction target.
+"""
+
+import pytest
+
+from repro.experiments.quality import QualityProtocol
+from repro.experiments.runner import (
+    DEFAULT_ALGORITHMS,
+    ExperimentConfig,
+    ExperimentRunner,
+)
+
+SLOW_BUS = 1e6
+FAST_BUS = 100e6
+GRAPH_KINDS = ("bushy", "lengthy", "hybrid")
+
+
+def run(kind, speed, operations=19, servers=5, repetitions=8, seed=42):
+    runner = ExperimentRunner(DEFAULT_ALGORITHMS + ("Random",))
+    return runner.run(
+        ExperimentConfig(
+            workflow_kind=kind,
+            num_operations=operations,
+            num_servers=servers,
+            bus_speed_bps=speed,
+            repetitions=repetitions,
+            seed=seed,
+        )
+    )
+
+
+class TestSlowBusClaims:
+    """1 Mbps bus: communication dominates (Figs. 6-8, left panels)."""
+
+    @pytest.mark.parametrize("kind", ("line",) + GRAPH_KINDS)
+    def test_holm_has_best_execution_time(self, kind):
+        """'HeavyOps-LargeMsgs ... consistently the best choice in terms
+        of execution time.'"""
+        result = run(kind, SLOW_BUS)
+        holm = result.mean_execution_time("HeavyOps-LargeMsgs")
+        for name in result.algorithms():
+            if name != "HeavyOps-LargeMsgs":
+                assert holm < result.mean_execution_time(name), (kind, name)
+
+    @pytest.mark.parametrize("kind", ("line",) + GRAPH_KINDS)
+    def test_tie_resolvers_improve_execution_over_fair_load(self, kind):
+        """'Both Tie Resolver algorithms provide some improvements.'"""
+        result = run(kind, SLOW_BUS)
+        fair = result.mean_execution_time("FairLoad")
+        assert result.mean_execution_time("FL-TieResolver") < fair
+        assert result.mean_execution_time("FL-TieResolver2") < fair
+
+    @pytest.mark.parametrize("kind", ("line",) + GRAPH_KINDS)
+    def test_flmme_trades_fairness_for_execution_time(self, kind):
+        """'FL-Merge Messages' Ends improves the execution time ... by
+        deteriorating the load balance.'"""
+        result = run(kind, SLOW_BUS)
+        assert result.mean_execution_time(
+            "FL-MergeMsgEnds"
+        ) < result.mean_execution_time("FL-TieResolver2")
+        assert result.mean_time_penalty(
+            "FL-MergeMsgEnds"
+        ) > result.mean_time_penalty("FL-TieResolver2")
+
+    @pytest.mark.parametrize("kind", ("line",) + GRAPH_KINDS)
+    def test_fairness_tuned_algorithms_beat_random_on_fairness(self, kind):
+        """Fair Load and the tie resolvers optimise fairness; HOLM and
+        FLMME deliberately trade it away on slow buses, so they are not
+        held to this claim."""
+        result = run(kind, SLOW_BUS)
+        random_penalty = result.mean_time_penalty("Random")
+        for name in ("FairLoad", "FL-TieResolver", "FL-TieResolver2"):
+            assert result.mean_time_penalty(name) < random_penalty, name
+
+    @pytest.mark.parametrize("kind", ("line",) + GRAPH_KINDS)
+    def test_smart_algorithms_beat_random_on_objective(self, kind):
+        result = run(kind, SLOW_BUS)
+        random_objective = result.mean_objective("Random")
+        for name in (
+            "FL-TieResolver",
+            "FL-TieResolver2",
+            "HeavyOps-LargeMsgs",
+        ):
+            assert result.mean_objective(name) < random_objective, name
+
+
+class TestFastBusClaims:
+    """100 Mbps bus: communication is cheap, fairness differentiates."""
+
+    @pytest.mark.parametrize("kind", ("line",) + GRAPH_KINDS)
+    def test_execution_times_converge(self, kind):
+        """With cheap messages every load-balancing heuristic lands in
+        the same execution-time ballpark."""
+        result = run(kind, FAST_BUS)
+        times = [
+            result.mean_execution_time(name) for name in DEFAULT_ALGORITHMS
+        ]
+        assert max(times) / min(times) < 1.10
+
+    @pytest.mark.parametrize("kind", ("line",) + GRAPH_KINDS)
+    def test_holm_matches_best_fairness(self, kind):
+        """'...slightly worse in this category' -- on fast buses HOLM's
+        fairness ties the tie-resolvers' because grouping never triggers."""
+        result = run(kind, FAST_BUS)
+        best_penalty = min(
+            result.mean_time_penalty(name) for name in DEFAULT_ALGORITHMS
+        )
+        holm = result.mean_time_penalty("HeavyOps-LargeMsgs")
+        assert holm <= best_penalty * 1.25 + 1e-12
+
+
+class TestProbabilityWeightingEffects:
+    """Consequences of §3.4's 'Fair Load remains exactly the same'."""
+
+    @pytest.mark.parametrize("kind", GRAPH_KINDS)
+    def test_unweighted_fair_load_is_less_fair_on_graphs(self, kind):
+        """Fair Load balances raw cycles while Load(s) is probability-
+        weighted, so on XOR graphs the probability-aware tie resolvers
+        achieve strictly better (weighted) fairness."""
+        result = run(kind, FAST_BUS)
+        fair = result.mean_time_penalty("FairLoad")
+        for name in ("FL-TieResolver", "FL-TieResolver2"):
+            assert result.mean_time_penalty(name) < fair, (kind, name)
+
+    def test_no_such_gap_on_lines(self):
+        """Without XOR weights the three coincide in fairness."""
+        result = run("line", FAST_BUS)
+        fair = result.mean_time_penalty("FairLoad")
+        for name in ("FL-TieResolver", "FL-TieResolver2"):
+            assert result.mean_time_penalty(name) == pytest.approx(
+                fair, rel=1e-9
+            ), name
+
+
+class TestStabilityClaims:
+    def test_holm_stable_as_k_grows(self):
+        """'the behaviour of the HeavyOps-LargeMsgs algorithm remains
+        quite stable even when the fraction of operations to servers
+        (denoted as K) increases.'"""
+        runner = ExperimentRunner(DEFAULT_ALGORITHMS)
+        for operations in (10, 15, 19, 25, 30):
+            result = runner.run(
+                ExperimentConfig(
+                    num_operations=operations,
+                    num_servers=5,
+                    bus_speed_bps=SLOW_BUS,
+                    repetitions=6,
+                    seed=77,
+                )
+            )
+            holm = result.mean_execution_time("HeavyOps-LargeMsgs")
+            best_other = min(
+                result.mean_execution_time(name)
+                for name in result.algorithms()
+                if name != "HeavyOps-LargeMsgs"
+            )
+            assert holm < 0.5 * best_other, f"K={operations / 5}"
+
+    def test_holm_wins_across_every_graph_structure(self):
+        """Fig. 8: per-structure panels all crown the same winner."""
+        for kind in GRAPH_KINDS:
+            result = run(kind, SLOW_BUS, seed=99)
+            assert result.winner_by_execution() == "HeavyOps-LargeMsgs", kind
+
+
+class TestQualityClaims:
+    """Section 4.2's deviation-from-sampled-optimum numbers (shape)."""
+
+    def test_holm_execution_near_sampled_best_on_slow_bus(self):
+        """At 1 Mbps HOLM's execution time matches the best sampled
+        solution (paper: 2.9% worst-case deviation on Line-Bus)."""
+        protocol = QualityProtocol(
+            algorithms=("HeavyOps-LargeMsgs",), experiments=5, samples=1_000
+        )
+        report = protocol.run(
+            ExperimentConfig(
+                num_operations=19,
+                num_servers=5,
+                bus_speed_bps=SLOW_BUS,
+                repetitions=1,
+                seed=55,
+            )
+        )
+        worst_exec, _ = report.worst_case("HeavyOps-LargeMsgs")
+        assert worst_exec <= 0.05
+
+    def test_holm_penalty_near_sampled_best_on_fast_bus(self):
+        """At 100 Mbps HOLM's fairness matches the best sampled solution
+        (paper: 0.3% / 0% deviations)."""
+        protocol = QualityProtocol(
+            algorithms=("HeavyOps-LargeMsgs",), experiments=5, samples=1_000
+        )
+        report = protocol.run(
+            ExperimentConfig(
+                num_operations=19,
+                num_servers=5,
+                bus_speed_bps=FAST_BUS,
+                repetitions=1,
+                seed=55,
+            )
+        )
+        _, worst_penalty = report.worst_case("HeavyOps-LargeMsgs")
+        assert worst_penalty <= 0.01
+
+    def test_fair_load_penalty_is_sampled_best_or_better(self):
+        protocol = QualityProtocol(
+            algorithms=("FairLoad",), experiments=5, samples=1_000
+        )
+        report = protocol.run(
+            ExperimentConfig(
+                num_operations=19,
+                num_servers=5,
+                bus_speed_bps=SLOW_BUS,
+                repetitions=1,
+                seed=55,
+            )
+        )
+        _, worst_penalty = report.worst_case("FairLoad")
+        assert worst_penalty <= 1e-9

@@ -1,0 +1,65 @@
+"""Full paper-scale protocol runs, gated behind ``REPRO_PAPER_SCALE=1``.
+
+The regular suite runs the section 4.1 quality protocol at a reduced
+scale; set the environment variable to re-run it at the paper's exact
+sizes (50 experiments x 32 000 sampled solutions per configuration --
+several minutes per test).
+
+Thresholds follow the paper's quality table (section 4.2) in *shape*:
+on the congested bus HOLM's execution time must track the sampled best
+(paper: 2.9 % line / 29 % graph); on the fast bus its fairness must be
+near-optimal. Fairness is asserted through the load-normalised penalty
+gap -- the raw relative deviation is ill-conditioned at this sample
+count (see docs/PAPER_NOTES.md).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.quality import QualityProtocol
+from repro.experiments.runner import ExperimentConfig
+
+paper_scale = pytest.mark.skipif(
+    not bool(int(os.environ.get("REPRO_PAPER_SCALE", "0"))),
+    reason="set REPRO_PAPER_SCALE=1 to run the 50 x 32000 protocol",
+)
+
+
+@paper_scale
+@pytest.mark.parametrize("kind", ("line", "hybrid"))
+def test_full_scale_quality_protocol(kind):
+    protocol = QualityProtocol(
+        algorithms=("HeavyOps-LargeMsgs", "FairLoad"),
+        experiments=50,
+        samples=32_000,
+    )
+    for speed in (1e6, 100e6):
+        config = ExperimentConfig(
+            workflow_kind=kind,
+            num_operations=19,
+            num_servers=5,
+            bus_speed_bps=speed,
+            repetitions=1,
+            seed=55,
+        )
+        report = protocol.run(config)
+        worst_exec, _ = report.worst_case("HeavyOps-LargeMsgs")
+        holm_gap = report.worst_penalty_gap("HeavyOps-LargeMsgs")
+        if speed == 1e6:
+            # paper: 2.9% (line) / 29% (graph) execution deviation; we
+            # measure ~0% -- HOLM tracks or beats the sampled best
+            assert worst_exec <= 0.30
+        else:
+            # paper: (29%, 0.3%) / (0%, 0%) -- on fast buses HOLM's
+            # fairness is near the sampled best; execution deviation may
+            # reach the paper's ~30%
+            assert holm_gap <= 0.05
+            assert worst_exec <= 0.60
+        # Fair Load's fairness gap stays small on lines. On random
+        # graphs it is measurably worse: section 3.4 keeps Fair Load
+        # "exactly the same", balancing *raw* cycles, while Load(s) is
+        # probability-weighted -- so rarely-executed branches skew its
+        # weighted loads (measured worst gap ~39% on hybrid graphs).
+        limit = 0.20 if kind == "line" else 0.45
+        assert report.worst_penalty_gap("FairLoad") <= limit

@@ -1,0 +1,93 @@
+"""Integration: the library handles instances well beyond the paper's size.
+
+The paper evaluates up to 19 operations over 5 servers. A downstream
+user will throw hundreds of operations at the library; these tests pin
+that everything still works (and finishes) at that scale -- correctness
+at scale, not speed assertions.
+"""
+
+import pytest
+
+from repro.algorithms.base import algorithm_registry
+from repro.core.cost import CostModel
+from repro.core.validation import check_well_formed
+from repro.simulation.engine import SimulationEngine
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_bus_network,
+    random_graph_workflow,
+)
+
+SUITE = (
+    "FairLoad",
+    "FL-TieResolver",
+    "FL-TieResolver2",
+    "FL-MergeMsgEnds",
+    "HeavyOps-LargeMsgs",
+)
+
+
+@pytest.fixture(scope="module")
+def big_line():
+    workflow = line_workflow(200, seed=1)
+    network = random_bus_network(10, seed=2)
+    return workflow, network, CostModel(workflow, network)
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    workflow = random_graph_workflow(150, GraphStructure.HYBRID, seed=3)
+    network = random_bus_network(8, seed=4)
+    return workflow, network, CostModel(workflow, network)
+
+
+def test_big_graph_generation_is_well_formed(big_graph):
+    workflow, _, _ = big_graph
+    assert len(workflow) == 150
+    report = check_well_formed(workflow)
+    assert report.ok, report.problems
+
+
+@pytest.mark.parametrize("name", SUITE)
+def test_suite_handles_200_operation_lines(big_line, name):
+    workflow, network, model = big_line
+    deployment = algorithm_registry()[name]().deploy(
+        workflow, network, cost_model=model, rng=1
+    )
+    deployment.validate(workflow, network)
+    cost = model.evaluate(deployment)
+    assert cost.execution_time > 0
+
+
+@pytest.mark.parametrize("name", SUITE)
+def test_suite_handles_150_operation_graphs(big_graph, name):
+    workflow, network, model = big_graph
+    deployment = algorithm_registry()[name]().deploy(
+        workflow, network, cost_model=model, rng=1
+    )
+    deployment.validate(workflow, network)
+
+
+def test_simulator_handles_big_graphs(big_graph):
+    workflow, network, model = big_graph
+    deployment = algorithm_registry()["HeavyOps-LargeMsgs"]().deploy(
+        workflow, network, cost_model=model, rng=1
+    )
+    result = SimulationEngine(workflow, network, deployment).run(rng=1)
+    assert result.makespan > 0
+    assert len(result.records) <= len(workflow)
+
+
+def test_fairness_quality_holds_at_scale(big_line):
+    """Worst-fit keeps load deviation below one heaviest op even at M=200."""
+    workflow, network, model = big_line
+    deployment = algorithm_registry()["FairLoad"]().deploy(
+        workflow, network, cost_model=model
+    )
+    loads = model.loads(deployment)
+    mean = sum(loads.values()) / len(loads)
+    heaviest_time = max(op.cycles for op in workflow) / min(
+        s.power_hz for s in network
+    )
+    assert all(abs(v - mean) <= heaviest_time for v in loads.values())

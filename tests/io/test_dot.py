@@ -1,0 +1,89 @@
+"""Unit tests for the DOT exporters (structure of the generated text)."""
+
+import pytest
+
+from repro.core.mapping import Deployment
+from repro.io.dot import deployment_to_dot, network_to_dot, workflow_to_dot
+
+
+class TestWorkflowDot:
+    def test_digraph_with_all_nodes_and_edges(self, line3):
+        dot = workflow_to_dot(line3)
+        assert dot.startswith('digraph "line3" {')
+        assert dot.rstrip().endswith("}")
+        for name in line3.operation_names:
+            assert f'"{name}"' in dot
+        assert '"A" -> "B"' in dot
+        assert '"B" -> "C"' in dot
+
+    def test_decision_nodes_are_diamonds(self, xor_diamond):
+        dot = workflow_to_dot(xor_diamond)
+        choice_line = next(
+            line for line in dot.splitlines() if line.strip().startswith('"choice"')
+        )
+        assert "diamond" in choice_line
+        start_line = next(
+            line for line in dot.splitlines() if line.strip().startswith('"start"')
+        )
+        assert "box" in start_line
+
+    def test_xor_probability_in_edge_label(self, xor_diamond):
+        dot = workflow_to_dot(xor_diamond)
+        assert "p=0.7" in dot and "p=0.3" in dot
+
+    def test_quotes_escaped(self):
+        from repro.core.workflow import Operation, Workflow
+
+        workflow = Workflow('we "quote"')
+        workflow.add_operation(Operation('op "x"', 1e6))
+        dot = workflow_to_dot(workflow)
+        assert '\\"' in dot
+
+
+class TestFormatHelpers:
+    def test_format_bits_scales(self):
+        from repro.io.dot import _format_bits
+
+        assert _format_bits(500) == "500 bit"
+        assert _format_bits(8_000) == "8.0 kbit"
+        assert _format_bits(2_500_000) == "2.50 Mbit"
+
+    def test_format_cycles_scales(self):
+        from repro.io.dot import _format_cycles
+
+        assert _format_cycles(500) == "500 cyc"
+        assert _format_cycles(50e6) == "50 Mcyc"
+
+
+class TestNetworkDot:
+    def test_undirected_graph(self, bus3):
+        dot = network_to_dot(bus3)
+        assert dot.startswith('graph "bus" {')
+        assert '"S1" -- "S2"' in dot
+        assert "GHz" in dot and "Mbps" in dot
+
+
+class TestDeploymentDot:
+    def test_clusters_per_server(self, line3, bus3):
+        deployment = Deployment({"A": "S1", "B": "S1", "C": "S2"})
+        dot = deployment_to_dot(line3, bus3, deployment)
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_1" in dot
+
+    def test_cross_server_edges_highlighted(self, line3, bus3):
+        deployment = Deployment({"A": "S1", "B": "S1", "C": "S2"})
+        dot = deployment_to_dot(line3, bus3, deployment)
+        edge_ab = next(
+            line for line in dot.splitlines() if '"A" -> "B"' in line
+        )
+        edge_bc = next(
+            line for line in dot.splitlines() if '"B" -> "C"' in line
+        )
+        assert "grey" in edge_ab  # co-located
+        assert "red" in edge_bc  # crosses the bus
+
+    def test_incomplete_deployment_rejected(self, line3, bus3):
+        from repro.exceptions import IncompleteMappingError
+
+        with pytest.raises(IncompleteMappingError):
+            deployment_to_dot(line3, bus3, Deployment({"A": "S1"}))

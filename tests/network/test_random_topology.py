@@ -1,0 +1,129 @@
+"""Unit and property tests for the random topology generator and routing
+metric properties on arbitrary connected networks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NetworkError
+from repro.network.routing import Router
+from repro.network.topology import random_network
+
+
+class TestRandomNetwork:
+    def test_always_connected(self):
+        for seed in range(10):
+            network = random_network(
+                [1e9] * 7,
+                [1e6, 100e6],
+                extra_edge_probability=0.0,  # spanning tree only
+                rng=random.Random(seed),
+            )
+            assert network.is_connected()
+            assert len(network.links) == 6  # exactly a tree
+
+    def test_extra_edges_add_links(self):
+        tree = random_network(
+            [1e9] * 7, 1e6, extra_edge_probability=0.0, rng=random.Random(1)
+        )
+        dense = random_network(
+            [1e9] * 7, 1e6, extra_edge_probability=1.0, rng=random.Random(1)
+        )
+        assert len(dense.links) == 7 * 6 // 2
+        assert len(tree.links) < len(dense.links)
+
+    def test_speeds_drawn_from_choices(self):
+        network = random_network(
+            [1e9] * 6, [5e6, 50e6], rng=random.Random(2)
+        )
+        assert {link.speed_bps for link in network.links} <= {5e6, 50e6}
+
+    def test_scalar_speed(self):
+        network = random_network([1e9] * 4, 7e6, rng=random.Random(3))
+        assert all(link.speed_bps == 7e6 for link in network.links)
+
+    def test_probability_validated(self):
+        with pytest.raises(NetworkError):
+            random_network([1e9] * 3, 1e6, extra_edge_probability=1.5)
+
+    def test_deterministic_per_seed(self):
+        nets = [
+            random_network([1e9] * 6, [1e6, 9e6], rng=random.Random(4))
+            for _ in range(2)
+        ]
+        assert [l.endpoints for l in nets[0].links] == [
+            l.endpoints for l in nets[1].links
+        ]
+
+    def test_single_server(self):
+        network = random_network([1e9], 1e6, rng=random.Random(5))
+        assert len(network) == 1 and not network.links
+
+
+seeds = st.integers(min_value=0, max_value=10_000)
+counts = st.integers(min_value=2, max_value=8)
+
+
+@given(servers=counts, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_routing_times_satisfy_triangle_inequality(servers, seed):
+    """Best-path delivery time is a metric for any fixed message size."""
+    rng = random.Random(seed)
+    network = random_network(
+        [1e9] * servers,
+        [1e6, 10e6, 100e6],
+        extra_edge_probability=0.4,
+        rng=rng,
+    )
+    router = Router(network)
+    size = 50_000.0
+    names = network.server_names
+    for a in names:
+        for b in names:
+            for c in names:
+                direct = router.transmission_time(a, c, size)
+                detour = router.transmission_time(
+                    a, b, size
+                ) + router.transmission_time(b, c, size)
+                assert direct <= detour + 1e-12
+
+
+@given(servers=counts, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_routing_is_symmetric_on_random_networks(servers, seed):
+    network = random_network(
+        [1e9] * servers,
+        [1e6, 100e6],
+        extra_edge_probability=0.3,
+        rng=random.Random(seed),
+    )
+    router = Router(network)
+    names = network.server_names
+    for a in names:
+        for b in names:
+            assert router.transmission_time(
+                a, b, 10_000
+            ) == pytest.approx(router.transmission_time(b, a, 10_000))
+
+
+@given(servers=counts, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_algorithms_work_on_random_topologies(servers, seed):
+    """The Fair-Load family and HOLM accept arbitrary connected networks."""
+    from repro.algorithms.base import algorithm_registry
+    from repro.workloads.generator import line_workflow
+
+    network = random_network(
+        [1e9] * servers,
+        [1e6, 100e6],
+        extra_edge_probability=0.3,
+        rng=random.Random(seed),
+    )
+    workflow = line_workflow(10, seed=seed)
+    for name in ("FairLoad", "FL-TieResolver2", "HeavyOps-LargeMsgs"):
+        deployment = algorithm_registry()[name]().deploy(
+            workflow, network, rng=seed
+        )
+        deployment.validate(workflow, network)

@@ -1,0 +1,133 @@
+"""Unit tests for shortest-delivery-time routing."""
+
+import pytest
+
+from repro.exceptions import DisconnectedNetworkError, UnknownServerError
+from repro.network.routing import Router
+from repro.network.topology import (
+    Server,
+    ServerNetwork,
+    bus_network,
+    line_network,
+)
+
+
+class TestBasicRouting:
+    def test_same_server_path(self, bus3):
+        router = Router(bus3)
+        assert router.path("S1", "S1") == ("S1",)
+        assert router.transmission_time("S1", "S1", 1e6) == 0.0
+        assert router.hop_count("S1", "S1") == 0
+
+    def test_direct_link_on_bus(self, bus3):
+        router = Router(bus3)
+        assert router.path("S1", "S3", 8_000) == ("S1", "S3")
+        assert router.transmission_time("S1", "S3", 8_000) == pytest.approx(
+            8_000 / 100e6
+        )
+
+    def test_multi_hop_on_line(self, chain3):
+        router = Router(chain3)
+        assert router.path("S1", "S3", 8_000) == ("S1", "S2", "S3")
+        expected = 8_000 / 10e6 + 8_000 / 100e6
+        assert router.transmission_time("S1", "S3", 8_000) == pytest.approx(
+            expected
+        )
+        assert router.hop_count("S1", "S3") == 2
+
+    def test_unknown_server_rejected(self, bus3):
+        router = Router(bus3)
+        with pytest.raises(UnknownServerError):
+            router.path("S1", "S9")
+
+    def test_disconnected_pair_rejected(self):
+        network = ServerNetwork("disc")
+        network.add_servers(
+            [Server("S1", 1e9), Server("S2", 1e9), Server("S3", 1e9)]
+        )
+        network.connect("S1", "S2", 1e6)
+        router = Router(network)
+        with pytest.raises(DisconnectedNetworkError):
+            router.path("S1", "S3")
+
+
+class TestPropagationDelay:
+    def test_propagation_added_per_link(self):
+        network = line_network([1e9, 1e9, 1e9], 100e6, propagation_s=0.002)
+        router = Router(network)
+        expected = 2 * (8_000 / 100e6 + 0.002)
+        assert router.transmission_time("S1", "S3", 8_000) == pytest.approx(
+            expected
+        )
+
+    def test_zero_size_routes_by_propagation(self):
+        network = line_network([1e9, 1e9], 100e6, propagation_s=0.001)
+        router = Router(network)
+        assert router.transmission_time("S1", "S2", 0.0) == pytest.approx(
+            0.001
+        )
+
+
+class TestSizeDependentRouting:
+    def _detour_network(self):
+        """Direct slow link S1-S3 vs a two-hop fast detour via S2."""
+        network = ServerNetwork("detour")
+        network.add_servers(
+            [Server("S1", 1e9), Server("S2", 1e9), Server("S3", 1e9)]
+        )
+        network.connect("S1", "S3", 1e6)  # slow direct
+        network.connect("S1", "S2", 1e9)
+        network.connect("S2", "S3", 1e9)
+        return network
+
+    def test_large_message_takes_fast_detour(self):
+        router = Router(self._detour_network())
+        # 1 Mbit: direct = 1 s; detour = 2 * 1 ms
+        assert router.path("S1", "S3", 1e6) == ("S1", "S2", "S3")
+
+    def test_route_is_symmetric(self):
+        router = Router(self._detour_network())
+        forward = router.path("S1", "S3", 1e6)
+        backward = router.path("S3", "S1", 1e6)
+        assert backward == forward[::-1]
+        assert router.transmission_time(
+            "S1", "S3", 1e6
+        ) == router.transmission_time("S3", "S1", 1e6)
+
+
+class TestCaching:
+    def test_repeated_queries_hit_cache(self, bus3):
+        router = Router(bus3)
+        first = router.transmission_time("S1", "S2", 8_000)
+        second = router.transmission_time("S1", "S2", 8_000)
+        assert first == second
+        assert len(router._time_cache) > 0
+
+    def test_clear_cache(self, bus3):
+        router = Router(bus3)
+        router.transmission_time("S1", "S2", 8_000)
+        router.clear_cache()
+        assert len(router._time_cache) == 0
+        assert len(router._path_cache) == 0
+
+    def test_cache_is_size_keyed(self, chain3):
+        router = Router(chain3)
+        t_small = router.transmission_time("S1", "S3", 1_000)
+        t_large = router.transmission_time("S1", "S3", 100_000)
+        assert t_large > t_small
+
+
+def test_bus_pairs_share_cost(bus3):
+    """The paper's bus assumption: every pair costs the same."""
+    router = Router(bus3)
+    times = {
+        router.transmission_time(a, b, 10_000)
+        for a in bus3.server_names
+        for b in bus3.server_names
+        if a != b
+    }
+    assert len(times) == 1
+
+
+def test_router_exposes_network(bus3):
+    assert Router(bus3).network is bus3

@@ -1,0 +1,97 @@
+"""Property-based tests: constraint excess measures and the aware search."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import (
+    ConstraintSet,
+    MaxExecutionTime,
+    MaxResponseTime,
+    MaxServerLoad,
+    MaxTimePenalty,
+)
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.workloads.generator import line_workflow, random_bus_network
+
+sizes = st.integers(min_value=2, max_value=15)
+server_counts = st.integers(min_value=2, max_value=4)
+seeds = st.integers(min_value=0, max_value=10_000)
+limits = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+
+
+def evaluated(size, servers, seed):
+    workflow = line_workflow(size, seed=seed)
+    network = random_bus_network(servers, seed=seed + 1)
+    model = CostModel(workflow, network)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    return workflow, model.evaluate(deployment)
+
+
+@given(size=sizes, servers=server_counts, seed=seeds, limit=limits)
+@settings(max_examples=40, deadline=None)
+def test_excess_zero_iff_satisfied(size, servers, seed, limit):
+    """For every numeric constraint: excess == 0 exactly when satisfied."""
+    workflow, cost = evaluated(size, servers, seed)
+    constraints = [
+        MaxExecutionTime(limit),
+        MaxTimePenalty(limit),
+        MaxServerLoad(limit),
+        MaxResponseTime(workflow.operation_names[-1], limit),
+    ]
+    for constraint in constraints:
+        excess = constraint.excess(cost)
+        assert excess >= 0
+        assert (excess == 0) == constraint.satisfied(cost), constraint
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_excess_monotone_in_limit(size, servers, seed):
+    """Loosening a limit never increases the excess."""
+    _, cost = evaluated(size, servers, seed)
+    tight = MaxExecutionTime(cost.execution_time * 0.5)
+    loose = MaxExecutionTime(cost.execution_time * 0.9)
+    satisfied = MaxExecutionTime(cost.execution_time * 1.1)
+    assert tight.excess(cost) >= loose.excess(cost) >= satisfied.excess(cost)
+    assert satisfied.excess(cost) == 0.0
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_set_excess_is_sum_of_parts(size, servers, seed):
+    workflow, cost = evaluated(size, servers, seed)
+    parts = [
+        MaxExecutionTime(cost.execution_time * 0.5),
+        MaxTimePenalty(max(cost.time_penalty * 0.5, 1e-12)),
+    ]
+    combined = ConstraintSet(parts)
+    assert combined.total_excess(cost) == sum(
+        p.excess(cost) for p in parts
+    )
+    assert combined.satisfied(cost) == (combined.total_excess(cost) == 0)
+
+
+@given(size=st.integers(min_value=4, max_value=12), seed=seeds)
+@settings(max_examples=10, deadline=None)
+def test_constraint_aware_search_never_increases_excess(size, seed):
+    """The repair loop's first lexicographic key must not regress."""
+    from repro.algorithms.constrained import ConstraintAwareSearch
+    from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+
+    workflow = line_workflow(size, seed=seed)
+    network = random_bus_network(3, seed=seed + 1)
+    model = CostModel(workflow, network)
+    seeded = HeavyOpsLargeMsgs().deploy(workflow, network, cost_model=model)
+    seeded_cost = model.evaluate(seeded)
+    constraints = ConstraintSet(
+        [MaxTimePenalty(max(seeded_cost.time_penalty * 0.6, 1e-12))]
+    )
+    repaired = ConstraintAwareSearch(constraints=constraints).deploy(
+        workflow, network, cost_model=model
+    )
+    assert constraints.total_excess(
+        model.evaluate(repaired)
+    ) <= constraints.total_excess(seeded_cost) + 1e-15

@@ -1,0 +1,147 @@
+"""Property-based tests: cost-model invariants over random instances."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_bus_network,
+    random_graph_workflow,
+)
+
+sizes = st.integers(min_value=1, max_value=25)
+server_counts = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=10_000)
+structures = st.sampled_from(list(GraphStructure))
+
+
+def instance(size, servers, seed, structure=None):
+    if structure is None:
+        workflow = line_workflow(size, seed=seed)
+    else:
+        workflow = random_graph_workflow(size, structure, seed=seed)
+    network = random_bus_network(servers, seed=seed + 1)
+    return workflow, network, CostModel(workflow, network)
+
+
+@given(size=sizes, servers=server_counts, seed=seeds, structure=structures)
+@settings(max_examples=50, deadline=None)
+def test_costs_are_finite_and_nonnegative(size, servers, seed, structure):
+    workflow, network, model = instance(size, servers, seed, structure)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    breakdown = model.evaluate(deployment)
+    assert breakdown.execution_time > 0
+    assert breakdown.time_penalty >= 0
+    assert breakdown.processing_time > 0
+    assert breakdown.communication_time >= 0
+    assert breakdown.objective == (
+        0.5 * breakdown.execution_time + 0.5 * breakdown.time_penalty
+    )
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=50, deadline=None)
+def test_colocating_everything_removes_communication(size, servers, seed):
+    workflow, network, model = instance(size, servers, seed)
+    server = network.server_names[0]
+    deployment = Deployment.all_on_one(workflow, server)
+    assert model.total_communication_time(deployment) == 0.0
+    # for a line, Texecute then equals the server's load (same quantity
+    # accumulated in different order, hence the float tolerance)
+    execution = model.execution_time(deployment)
+    load = model.loads(deployment)[server]
+    assert abs(execution - load) <= 1e-12 * max(1.0, execution)
+
+
+@given(size=sizes, servers=server_counts, seed=seeds, structure=structures)
+@settings(max_examples=50, deadline=None)
+def test_loads_sum_to_total_weighted_work(size, servers, seed, structure):
+    workflow, network, model = instance(size, servers, seed, structure)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    loads = model.loads(deployment)
+    # invariant: sum over servers of load * power == total weighted cycles
+    recovered = sum(
+        loads[s.name] * s.power_hz for s in network
+    )
+    assert abs(recovered - model.total_weighted_cycles()) <= 1e-3
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=50, deadline=None)
+def test_ideal_cycles_partition_the_total(size, servers, seed):
+    _, network, model = instance(size, servers, seed)
+    total = sum(model.ideal_cycles(name) for name in network.server_names)
+    assert abs(total - model.total_weighted_cycles()) <= 1e-3
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_scaling_cycles_scales_line_execution(size, servers, seed):
+    workflow, network, model = instance(size, servers, seed)
+    server = network.server_names[0]
+    deployment = Deployment.all_on_one(workflow, server)
+    base = model.execution_time(deployment)
+    scaled_model = CostModel(workflow.scaled(cycle_factor=3.0), network)
+    assert abs(scaled_model.execution_time(deployment) - 3.0 * base) <= (
+        1e-9 * max(1.0, base)
+    )
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_penalty_zero_iff_loads_equal(size, servers, seed):
+    workflow, network, model = instance(size, servers, seed)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    loads = list(model.loads(deployment).values())
+    penalty = model.time_penalty(deployment)
+    spread = max(loads) - min(loads)
+    if spread <= 1e-15:
+        assert penalty <= 1e-15
+    else:
+        assert penalty > 0
+
+
+@given(size=sizes, servers=server_counts, seed=seeds, structure=structures)
+@settings(max_examples=40, deadline=None)
+def test_execution_time_at_least_entry_to_exit_processing(
+    size, servers, seed, structure
+):
+    """Texecute can never undercut the fastest server's take on any
+    certain-execution chain operation."""
+    workflow, network, model = instance(size, servers, seed, structure)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    fastest = max(s.power_hz for s in network)
+    certain_ops = [
+        op for op in workflow if model.node_probability(op.name) >= 1.0
+    ]
+    lower_bound = max(
+        (op.cycles / fastest for op in certain_ops), default=0.0
+    )
+    assert model.execution_time(deployment) >= lower_bound - 1e-12
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_slower_bus_never_speeds_up_a_line(size, servers, seed):
+    from repro.workloads.parameters import ClassCParameters
+
+    workflow = line_workflow(size, seed=seed)
+    fast = random_bus_network(
+        servers,
+        seed=seed + 1,
+        parameters=ClassCParameters.paper().with_fixed_bus_speed(1000e6),
+    )
+    slow = random_bus_network(
+        servers,
+        seed=seed + 1,
+        parameters=ClassCParameters.paper().with_fixed_bus_speed(1e6),
+    )
+    deployment = Deployment.random(workflow, fast, random.Random(seed))
+    fast_time = CostModel(workflow, fast).execution_time(deployment)
+    slow_time = CostModel(workflow, slow).execution_time(deployment)
+    assert slow_time >= fast_time - 1e-12

@@ -1,0 +1,71 @@
+"""Property-based tests: the exact solvers agree with each other.
+
+Branch and bound must return the same optimum full enumeration finds, on
+any instance small enough to enumerate -- this is simultaneously the
+soundness check for its two pruning bounds (an unsound bound would cut
+the true optimum and show up here immediately).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.branch_and_bound import BranchAndBound
+from repro.algorithms.exhaustive import Exhaustive
+from repro.core.cost import CostModel
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_bus_network,
+    random_graph_workflow,
+)
+
+tiny_sizes = st.integers(min_value=1, max_value=6)
+server_counts = st.integers(min_value=1, max_value=3)
+seeds = st.integers(min_value=0, max_value=10_000)
+structures = st.sampled_from(list(GraphStructure))
+
+
+@given(size=tiny_sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_branch_and_bound_matches_exhaustive_on_lines(size, servers, seed):
+    workflow = line_workflow(size, seed=seed)
+    network = random_bus_network(servers, seed=seed + 1)
+    model = CostModel(workflow, network)
+    optimum = Exhaustive().best(workflow, network, model).cost.objective
+    deployment = BranchAndBound().deploy(workflow, network, cost_model=model)
+    assert abs(model.objective(deployment) - optimum) <= 1e-12
+
+
+@given(size=tiny_sizes, servers=server_counts, seed=seeds, structure=structures)
+@settings(max_examples=20, deadline=None)
+def test_branch_and_bound_matches_exhaustive_on_graphs(
+    size, servers, seed, structure
+):
+    workflow = random_graph_workflow(size, structure, seed=seed)
+    network = random_bus_network(servers, seed=seed + 1)
+    model = CostModel(workflow, network)
+    optimum = Exhaustive().best(workflow, network, model).cost.objective
+    deployment = BranchAndBound().deploy(workflow, network, cost_model=model)
+    assert abs(model.objective(deployment) - optimum) <= 1e-12
+
+
+@given(size=tiny_sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_exact_optimum_lower_bounds_every_heuristic(size, servers, seed):
+    from repro.algorithms.base import algorithm_registry
+
+    workflow = line_workflow(size, seed=seed)
+    network = random_bus_network(servers, seed=seed + 1)
+    model = CostModel(workflow, network)
+    optimum = model.objective(
+        BranchAndBound().deploy(workflow, network, cost_model=model)
+    )
+    registry = algorithm_registry()
+    for name in ("FairLoad", "HeavyOps-LargeMsgs", "Genetic"):
+        algorithm = registry[name]()
+        if name == "Genetic":
+            algorithm = registry[name](generations=3, population_size=6)
+        value = model.objective(
+            algorithm.deploy(workflow, network, cost_model=model, rng=seed)
+        )
+        assert value >= optimum - 1e-12, name

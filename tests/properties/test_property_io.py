@@ -1,0 +1,78 @@
+"""Property-based tests: serialization round-trips over random instances."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.io.json_codec import (
+    deployment_from_dict,
+    deployment_to_dict,
+    network_from_dict,
+    network_to_dict,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_bus_network,
+    random_graph_workflow,
+    random_line_network,
+)
+
+sizes = st.integers(min_value=1, max_value=25)
+server_counts = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=10_000)
+structures = st.sampled_from(list(GraphStructure))
+
+
+@given(size=sizes, seed=seeds, structure=structures)
+@settings(max_examples=40, deadline=None)
+def test_workflow_round_trip_is_identity(size, seed, structure):
+    workflow = random_graph_workflow(size, structure, seed=seed)
+    restored = workflow_from_dict(workflow_to_dict(workflow))
+    assert restored.name == workflow.name
+    assert restored.operation_names == workflow.operation_names
+    for original, copy in zip(workflow.operations, restored.operations):
+        assert original == copy
+    assert restored.messages == workflow.messages
+
+
+@given(servers=server_counts, seed=seeds, line=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_network_round_trip_is_identity(servers, seed, line):
+    if line:
+        network = random_line_network(servers, seed=seed)
+    else:
+        network = random_bus_network(servers, seed=seed)
+    restored = network_from_dict(network_to_dict(network))
+    assert restored.name == network.name
+    assert restored.topology_kind == network.topology_kind
+    assert restored.servers == network.servers
+    assert restored.links == network.links
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_costs_invariant_under_round_trip(size, servers, seed):
+    """The decisive property: serialisation never changes the physics."""
+    workflow = line_workflow(size, seed=seed)
+    network = random_bus_network(servers, seed=seed + 1)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+
+    restored_workflow = workflow_from_dict(workflow_to_dict(workflow))
+    restored_network = network_from_dict(network_to_dict(network))
+    restored_deployment = deployment_from_dict(
+        deployment_to_dict(deployment)
+    )
+
+    before = CostModel(workflow, network).evaluate(deployment)
+    after = CostModel(restored_workflow, restored_network).evaluate(
+        restored_deployment
+    )
+    assert after.execution_time == before.execution_time
+    assert after.time_penalty == before.time_penalty
+    assert after.objective == before.objective

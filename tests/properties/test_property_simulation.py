@@ -1,0 +1,121 @@
+"""Property-based tests: the simulator agrees with the analytic model.
+
+The analytic cost model (Table 1 semantics) is exact for workflows
+without XOR splits when servers are uncontended; the discrete-event
+simulator must reproduce it to floating-point accuracy on any such
+instance and any complete deployment. XOR workflows must agree in
+expectation. These are the strongest cross-validation properties in the
+suite: two independent implementations of the paper's semantics.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.core.workflow import NodeKind
+from repro.simulation.engine import SimulationEngine
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_bus_network,
+    random_graph_workflow,
+)
+
+sizes = st.integers(min_value=1, max_value=20)
+server_counts = st.integers(min_value=1, max_value=5)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+#: AND/OR regions only: the analytic forward pass is exact for these.
+NO_XOR = ((NodeKind.AND_SPLIT, 0.6), (NodeKind.OR_SPLIT, 0.4))
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_simulator_matches_model_on_lines(size, servers, seed):
+    workflow = line_workflow(size, seed=seed)
+    network = random_bus_network(servers, seed=seed + 1)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    analytic = CostModel(workflow, network).execution_time(deployment)
+    measured = SimulationEngine(workflow, network, deployment).run().makespan
+    assert abs(measured - analytic) <= 1e-9 * max(1.0, analytic)
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_simulator_matches_model_on_and_or_graphs(size, servers, seed):
+    workflow = random_graph_workflow(
+        size, GraphStructure.HYBRID, seed=seed, kind_weights=NO_XOR
+    )
+    network = random_bus_network(servers, seed=seed + 1)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    analytic = CostModel(workflow, network).execution_time(deployment)
+    measured = SimulationEngine(workflow, network, deployment).run().makespan
+    assert abs(measured - analytic) <= 1e-9 * max(1.0, analytic)
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_busy_time_matches_loads_without_xor(size, servers, seed):
+    workflow = random_graph_workflow(
+        size, GraphStructure.HYBRID, seed=seed, kind_weights=NO_XOR
+    )
+    network = random_bus_network(servers, seed=seed + 1)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    loads = CostModel(workflow, network).loads(deployment)
+    result = SimulationEngine(workflow, network, deployment).run()
+    for server, load in loads.items():
+        assert abs(result.busy_time[server] - load) <= 1e-9 * max(1.0, load)
+
+
+@given(size=sizes, servers=server_counts, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_contention_only_slows_things_down(size, servers, seed):
+    workflow = random_graph_workflow(
+        size, GraphStructure.BUSHY, seed=seed, kind_weights=NO_XOR
+    )
+    network = random_bus_network(servers, seed=seed + 1)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    unbounded = SimulationEngine(workflow, network, deployment).run()
+    single = SimulationEngine(
+        workflow, network, deployment, server_concurrency=1
+    ).run()
+    assert single.makespan >= unbounded.makespan - 1e-12
+
+
+@given(size=st.integers(min_value=4, max_value=16), seed=seeds)
+@settings(max_examples=8, deadline=None)
+def test_xor_expectation_within_monte_carlo_error(size, seed):
+    workflow = random_graph_workflow(
+        size,
+        GraphStructure.BUSHY,
+        seed=seed,
+        kind_weights=((NodeKind.XOR_SPLIT, 1.0),),
+    )
+    network = random_bus_network(3, seed=seed + 1)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    model = CostModel(workflow, network)
+    engine = SimulationEngine(workflow, network, deployment)
+    results = engine.run_many(600, rng=seed)
+    measured = sum(r.makespan for r in results) / len(results)
+    analytic = model.execution_time(deployment)
+    # makespans are bounded by the all-branches time; 600 runs keep the
+    # Monte-Carlo error well under 15% for these sizes
+    assert abs(measured - analytic) <= 0.15 * analytic + 1e-9
+
+
+@given(size=sizes, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_executed_set_respects_probabilities(size, seed):
+    """Ops the model deems certain always execute; zero-probability never."""
+    workflow = random_graph_workflow(size, GraphStructure.BUSHY, seed=seed)
+    network = random_bus_network(2, seed=seed + 1)
+    deployment = Deployment.random(workflow, network, random.Random(seed))
+    model = CostModel(workflow, network)
+    result = SimulationEngine(workflow, network, deployment).run(rng=seed)
+    for op in workflow:
+        probability = model.node_probability(op.name)
+        if probability >= 1.0 - 1e-12:
+            assert op.name in result.executed_operations

@@ -1,0 +1,96 @@
+"""Property-based tests: generated workflows and their invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probability import execution_probabilities
+from repro.core.validation import check_well_formed
+from repro.core.workflow import NodeKind
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_graph_workflow,
+)
+
+sizes = st.integers(min_value=1, max_value=35)
+seeds = st.integers(min_value=0, max_value=10_000)
+structures = st.sampled_from(list(GraphStructure))
+
+
+@given(size=sizes, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_line_workflows_are_lines(size, seed):
+    workflow = line_workflow(size, seed=seed)
+    assert len(workflow) == size
+    assert workflow.is_line()
+    assert len(workflow.messages) == size - 1
+    assert check_well_formed(workflow).ok
+
+
+@given(size=sizes, seed=seeds, structure=structures)
+@settings(max_examples=60, deadline=None)
+def test_generated_graphs_are_well_formed_with_exact_size(size, seed, structure):
+    workflow = random_graph_workflow(size, structure, seed=seed)
+    assert len(workflow) == size
+    report = check_well_formed(workflow)
+    assert report.ok, report.problems
+
+
+@given(size=sizes, seed=seeds, structure=structures)
+@settings(max_examples=40, deadline=None)
+def test_generated_graphs_never_exceed_target_decision_fraction(
+    size, seed, structure
+):
+    workflow = random_graph_workflow(size, structure, seed=seed)
+    regions = sum(1 for op in workflow if op.kind.is_split)
+    target = round(structure.decision_fraction * size / 2)
+    assert regions <= target
+
+
+@given(size=sizes, seed=seeds, structure=structures)
+@settings(max_examples=40, deadline=None)
+def test_execution_probabilities_bounded_and_consistent(size, seed, structure):
+    workflow = random_graph_workflow(size, structure, seed=seed)
+    probs = execution_probabilities(workflow)
+    assert set(probs) == set(workflow.operation_names)
+    assert all(0.0 <= p <= 1.0 for p in probs.values())
+    for entry in workflow.entries:
+        assert probs[entry] == 1.0
+
+
+@given(size=sizes, seed=seeds, structure=structures)
+@settings(max_examples=40, deadline=None)
+def test_join_probability_equals_split_probability(size, seed, structure):
+    """A region's join fires exactly when its split fired."""
+    workflow = random_graph_workflow(size, structure, seed=seed)
+    report = check_well_formed(workflow)
+    probs = execution_probabilities(workflow)
+    for split, join in report.matches.items():
+        assert abs(probs[split] - probs[join]) < 1e-9
+
+
+@given(size=sizes, seed=seeds, structure=structures)
+@settings(max_examples=40, deadline=None)
+def test_split_and_join_degrees(size, seed, structure):
+    """Splits fan out to >= 2 branches; matched joins collect them all."""
+    workflow = random_graph_workflow(size, structure, seed=seed)
+    report = check_well_formed(workflow)
+    for split, join in report.matches.items():
+        out_degree = len(workflow.successors(split))
+        in_degree = len(workflow.predecessors(join))
+        assert out_degree >= 2
+        assert in_degree == out_degree  # branches are linear chains
+
+
+@given(size=sizes, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_xor_splits_have_normalised_branch_probabilities(size, seed):
+    only_xor = ((NodeKind.XOR_SPLIT, 1.0),)
+    workflow = random_graph_workflow(
+        size, GraphStructure.BUSHY, seed=seed, kind_weights=only_xor
+    )
+    workflow.validate_xor_probabilities()
+    for op in workflow:
+        if op.kind is NodeKind.XOR_SPLIT:
+            total = sum(m.probability for m in workflow.outgoing(op.name))
+            assert abs(total - 1.0) < 1e-9

@@ -1,0 +1,97 @@
+"""Unit tests for the shared-bus contention mode of the simulator."""
+
+import pytest
+
+from repro.core.builder import WorkflowBuilder
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.core.workflow import NodeKind
+from repro.network.topology import bus_network
+from repro.simulation.engine import SimulationEngine
+
+
+@pytest.fixture
+def parallel_senders():
+    """An AND region whose two branches each send a big cross-bus message.
+
+    ``start -> fork -> (a | b) -> join``: with a, b on S1 and the join
+    on S2, both branch results cross the bus at the same moment.
+    """
+    builder = WorkflowBuilder("senders", default_message_bits=1_000_000)
+    builder.task("start", 1e6, message_bits=1_000)
+    builder.split(NodeKind.AND_SPLIT, "fork", 1e6, message_bits=1_000)
+    builder.branch()
+    builder.task("a", 10e6, message_bits=1_000)
+    builder.branch()
+    builder.task("b", 10e6, message_bits=1_000)
+    builder.join("join", 1e6)  # a->join and b->join carry 1 Mbit each
+    workflow = builder.build()
+    network = bus_network([1e9, 1e9], speed_bps=1e6)  # 1 s per message
+    deployment = Deployment(
+        {"start": "S1", "fork": "S1", "a": "S1", "b": "S1", "join": "S2"}
+    )
+    return workflow, network, deployment
+
+
+def test_exclusive_bus_serialises_concurrent_transfers(parallel_senders):
+    workflow, network, deployment = parallel_senders
+    free = SimulationEngine(workflow, network, deployment).run()
+    shared = SimulationEngine(
+        workflow, network, deployment, exclusive_bus=True
+    ).run()
+    # both 1 Mbit messages leave at the same time; on an exclusive bus
+    # the second waits a full transfer (~1 s) behind the first
+    assert shared.makespan == pytest.approx(free.makespan + 1.0, rel=1e-6)
+
+
+def test_exclusive_bus_matches_free_bus_without_overlap(line3, bus3):
+    """A line never overlaps transfers, so the modes agree exactly."""
+    deployment = Deployment({"A": "S1", "B": "S2", "C": "S3"})
+    free = SimulationEngine(line3, bus3, deployment).run()
+    shared = SimulationEngine(
+        line3, bus3, deployment, exclusive_bus=True
+    ).run()
+    assert shared.makespan == pytest.approx(free.makespan)
+
+
+def test_exclusive_bus_never_faster(parallel_senders):
+    workflow, network, deployment = parallel_senders
+    free = SimulationEngine(workflow, network, deployment).run()
+    shared = SimulationEngine(
+        workflow, network, deployment, exclusive_bus=True
+    ).run()
+    assert shared.makespan >= free.makespan - 1e-12
+
+
+def test_colocated_messages_skip_the_bus(parallel_senders):
+    """Local messages never occupy the shared medium."""
+    workflow, network, _ = parallel_senders
+    all_on_one = Deployment.all_on_one(workflow, "S1")
+    shared = SimulationEngine(
+        workflow, network, all_on_one, exclusive_bus=True
+    ).run()
+    free = SimulationEngine(workflow, network, all_on_one).run()
+    assert shared.makespan == pytest.approx(free.makespan)
+    assert shared.bits_sent == 0
+
+
+def test_exclusive_bus_widens_holm_advantage():
+    """Bus contention punishes communication even harder, so HOLM's lead
+    over Fair Load can only grow on a congested shared bus."""
+    from repro.algorithms.fair_load import FairLoad
+    from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+    from repro.workloads.generator import line_workflow
+
+    workflow = line_workflow(12, seed=3)
+    network = bus_network([1e9, 2e9, 3e9], speed_bps=1e6)
+    model = CostModel(workflow, network)
+    results = {}
+    for algorithm in (FairLoad(), HeavyOpsLargeMsgs()):
+        deployment = algorithm.deploy(workflow, network, cost_model=model)
+        results[algorithm.name] = SimulationEngine(
+            workflow, network, deployment, exclusive_bus=True
+        ).run()
+    assert (
+        results["HeavyOps-LargeMsgs"].makespan
+        <= results["FairLoad"].makespan
+    )

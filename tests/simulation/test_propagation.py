@@ -1,0 +1,51 @@
+"""Propagation delay (`Trefl`): model vs simulator agreement."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.mapping import Deployment
+from repro.network.topology import bus_network, line_network
+from repro.simulation.engine import SimulationEngine
+
+
+@pytest.fixture
+def propagating_bus():
+    return bus_network([1e9, 2e9, 3e9], speed_bps=100e6, propagation_s=0.005)
+
+
+def test_cost_model_includes_propagation(line3, propagating_bus):
+    deployment = Deployment({"A": "S1", "B": "S2", "C": "S3"})
+    model = CostModel(line3, propagating_bus)
+    # 30 ms processing + 2 transfers, each size/speed + 5 ms propagation
+    expected = 0.030 + (8_000 / 100e6 + 0.005) + (16_000 / 100e6 + 0.005)
+    assert model.execution_time(deployment) == pytest.approx(expected)
+
+
+def test_simulator_matches_model_with_propagation(line3, propagating_bus):
+    deployment = Deployment({"A": "S1", "B": "S2", "C": "S3"})
+    model = CostModel(line3, propagating_bus)
+    result = SimulationEngine(line3, propagating_bus, deployment).run()
+    assert result.makespan == pytest.approx(
+        model.execution_time(deployment)
+    )
+
+
+def test_multi_hop_propagation_accumulates(line3):
+    network = line_network([1e9, 1e9, 1e9], 100e6, propagation_s=0.01)
+    # A on S1, B on S1, C on S3: the B->C message crosses two links
+    deployment = Deployment({"A": "S1", "B": "S1", "C": "S3"})
+    model = CostModel(line3, network)
+    expected_comm = 2 * (16_000 / 100e6 + 0.01)
+    assert model.total_communication_time(deployment) == pytest.approx(
+        expected_comm
+    )
+    result = SimulationEngine(line3, network, deployment).run()
+    assert result.makespan == pytest.approx(
+        model.execution_time(deployment)
+    )
+
+
+def test_colocated_pays_no_propagation(line3, propagating_bus):
+    deployment = Deployment.all_on_one(line3, "S2")
+    model = CostModel(line3, propagating_bus)
+    assert model.total_communication_time(deployment) == 0.0

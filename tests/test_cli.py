@@ -1,0 +1,313 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.json_codec import load_instance
+
+
+@pytest.fixture
+def instance_path(tmp_path):
+    """A generated hybrid instance bundle on disk."""
+    path = tmp_path / "instance.json"
+    code = main(
+        [
+            "generate",
+            "--workflow",
+            "hybrid",
+            "--operations",
+            "12",
+            "--servers",
+            "3",
+            "--bus-speed",
+            "1e7",
+            "--seed",
+            "5",
+            "--output",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "generate",
+            "deploy",
+            "compare",
+            "simulate",
+            "experiment",
+            "quality",
+            "analyze",
+            "algorithms",
+        ):
+            assert command in text
+
+    def test_missing_command_is_an_argparse_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestGenerate(object):
+    def test_writes_valid_bundle(self, instance_path):
+        workflow, network, deployment = load_instance(instance_path)
+        assert len(workflow) == 12
+        assert len(network) == 3
+        assert deployment is None
+        assert network.uniform_speed_bps == 1e7
+
+    def test_deterministic(self, tmp_path):
+        paths = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            main(
+                [
+                    "generate",
+                    "--operations",
+                    "8",
+                    "--servers",
+                    "2",
+                    "--seed",
+                    "9",
+                    "--output",
+                    str(path),
+                ]
+            )
+            paths.append(json.loads(path.read_text()))
+        assert paths[0] == paths[1]
+
+
+class TestDeploy:
+    def test_prints_costs_and_mapping(self, instance_path, capsys):
+        assert main(["deploy", "--instance", str(instance_path)]) == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "mapping:" in out
+
+    def test_save_roundtrips(self, instance_path):
+        main(["deploy", "--instance", str(instance_path), "--save"])
+        workflow, network, deployment = load_instance(instance_path)
+        assert deployment is not None
+        deployment.validate(workflow, network)
+
+    def test_dot_output(self, instance_path, tmp_path):
+        dot_path = tmp_path / "deployment.dot"
+        main(
+            [
+                "deploy",
+                "--instance",
+                str(instance_path),
+                "--dot",
+                str(dot_path),
+            ]
+        )
+        assert dot_path.read_text().startswith("digraph")
+
+    def test_unknown_algorithm_is_an_error(self, instance_path, capsys):
+        code = main(
+            [
+                "deploy",
+                "--instance",
+                str(instance_path),
+                "--algorithm",
+                "Nonsense",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_table_and_plot(self, instance_path, capsys):
+        code = main(
+            ["compare", "--instance", str(instance_path), "--plot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FairLoad" in out and "HeavyOps-LargeMsgs" in out
+        assert "legend:" in out
+
+    def test_custom_suite(self, instance_path, capsys):
+        main(
+            [
+                "compare",
+                "--instance",
+                str(instance_path),
+                "--algorithms",
+                "FairLoad",
+                "Random",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Random" in out
+        assert "HeavyOps-LargeMsgs" not in out
+
+
+class TestSimulate:
+    def test_requires_deployment(self, instance_path, capsys):
+        code = main(["simulate", "--instance", str(instance_path)])
+        assert code == 2
+        assert "no deployment" in capsys.readouterr().err
+
+    def test_simulates_deployed_instance(self, instance_path, capsys):
+        main(["deploy", "--instance", str(instance_path), "--save"])
+        capsys.readouterr()
+        code = main(
+            [
+                "simulate",
+                "--instance",
+                str(instance_path),
+                "--runs",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analytic Texecute" in out
+        assert "measured mean makespan" in out
+
+    def test_concurrency_flag(self, instance_path, capsys):
+        main(["deploy", "--instance", str(instance_path), "--save"])
+        capsys.readouterr()
+        code = main(
+            [
+                "simulate",
+                "--instance",
+                str(instance_path),
+                "--runs",
+                "20",
+                "--concurrency",
+                "1",
+            ]
+        )
+        assert code == 0
+
+
+class TestExperimentAndQuality:
+    @pytest.mark.parametrize("klass", ("a", "b"))
+    def test_class_a_and_b_sweeps(self, klass, capsys):
+        code = main(
+            [
+                "experiment",
+                "--klass",
+                klass,
+                "--operations",
+                "6",
+                "--servers",
+                "2",
+                "--repetitions",
+                "1",
+                "--metric",
+                "penalty",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"{klass.upper()}: " in out  # sweep labels
+        assert "FairLoad" in out
+
+    def test_class_c_experiment(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "--klass",
+                "c",
+                "--operations",
+                "8",
+                "--servers",
+                "2",
+                "--repetitions",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HeavyOps-LargeMsgs" in out
+
+    def test_quality(self, capsys):
+        code = main(
+            [
+                "quality",
+                "--operations",
+                "6",
+                "--servers",
+                "2",
+                "--experiments",
+                "1",
+                "--samples",
+                "50",
+            ]
+        )
+        assert code == 0
+        assert "worst_exec_dev" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_statistics_and_regions(self, instance_path, capsys):
+        code = main(["analyze", "--instance", str(instance_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decision_fraction" in out
+        assert "regions:" in out
+
+    def test_critical_path_for_deployed(self, instance_path, capsys):
+        main(["deploy", "--instance", str(instance_path), "--save"])
+        capsys.readouterr()
+        main(["analyze", "--instance", str(instance_path)])
+        assert "critical path" in capsys.readouterr().out
+
+    def test_dot_export(self, instance_path, tmp_path, capsys):
+        dot_path = tmp_path / "workflow.dot"
+        main(
+            [
+                "analyze",
+                "--instance",
+                str(instance_path),
+                "--dot",
+                str(dot_path),
+            ]
+        )
+        assert dot_path.read_text().startswith("digraph")
+
+
+class TestFailover:
+    def test_requires_deployment(self, instance_path, capsys):
+        code = main(["failover", "--instance", str(instance_path)])
+        assert code == 2
+        assert "no deployment" in capsys.readouterr().err
+
+    def test_prints_per_server_impact(self, instance_path, capsys):
+        main(["deploy", "--instance", str(instance_path), "--save"])
+        capsys.readouterr()
+        code = main(["failover", "--instance", str(instance_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failed_server" in out
+        assert "scale_up" in out
+
+    def test_redeploy_policy(self, instance_path, capsys):
+        main(["deploy", "--instance", str(instance_path), "--save"])
+        capsys.readouterr()
+        code = main(
+            [
+                "failover",
+                "--instance",
+                str(instance_path),
+                "--redeploy",
+                "FairLoad",
+            ]
+        )
+        assert code == 0
+
+
+def test_algorithms_lists_registry(capsys):
+    assert main(["algorithms"]) == 0
+    out = capsys.readouterr().out
+    for name in ("FairLoad", "HeavyOps-LargeMsgs", "BranchAndBound", "Genetic"):
+        assert name in out

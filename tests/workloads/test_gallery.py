@@ -1,0 +1,60 @@
+"""Unit tests for the Fig. 1 healthcare workflow reconstruction."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.validation import check_well_formed
+from repro.core.workflow import NodeKind
+from repro.workloads.gallery import healthcare_workflow, ministry_network
+
+
+def test_fifteen_operations_like_figure_1():
+    assert len(healthcare_workflow()) == 15
+
+
+def test_well_formed():
+    report = check_well_formed(healthcare_workflow())
+    assert report.ok, report.problems
+
+
+def test_has_xor_and_and_regions():
+    workflow = healthcare_workflow()
+    kinds = {op.kind for op in workflow}
+    assert NodeKind.XOR_SPLIT in kinds and NodeKind.XOR_JOIN in kinds
+    assert NodeKind.AND_SPLIT in kinds and NodeKind.AND_JOIN in kinds
+
+
+def test_branch_probabilities():
+    workflow = healthcare_workflow()
+    assert workflow.message(
+        "check_availability", "assign_slot"
+    ).probability == pytest.approx(0.7)
+    assert workflow.message(
+        "check_availability", "propose_alternative"
+    ).probability == pytest.approx(0.3)
+    workflow.validate_xor_probabilities()
+
+
+def test_ministry_network_shape():
+    network = ministry_network()
+    assert len(network) == 5
+    assert network.is_uniform_bus()
+    assert network.uniform_speed_bps == 100e6
+    # 5**15 configurations, as the motivating example says
+    assert len(network) ** len(healthcare_workflow()) == 5**15
+
+
+def test_example_is_deployable_end_to_end():
+    from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+
+    workflow = healthcare_workflow()
+    network = ministry_network()
+    model = CostModel(workflow, network)
+    deployment = HeavyOpsLargeMsgs().deploy(workflow, network, cost_model=model)
+    breakdown = model.evaluate(deployment)
+    assert breakdown.execution_time > 0
+    assert breakdown.time_penalty >= 0
+
+
+def test_speed_parameter():
+    assert ministry_network(speed_bps=1e6).uniform_speed_bps == 1e6

@@ -1,0 +1,147 @@
+"""Unit tests for branch-probability monitoring and calibration (§3.4)."""
+
+import pytest
+
+from repro.core.builder import WorkflowBuilder
+from repro.core.mapping import Deployment
+from repro.core.probability import execution_probabilities
+from repro.core.workflow import NodeKind
+from repro.exceptions import ExperimentError
+from repro.network.topology import bus_network
+from repro.workloads.monitoring import (
+    calibrated_workflow,
+    monitor_and_calibrate,
+    observe_branch_frequencies,
+)
+
+
+def xor_workflow(p_left=0.8):
+    builder = WorkflowBuilder("monitored", default_message_bits=1_000)
+    builder.task("start", 1e6)
+    builder.split(NodeKind.XOR_SPLIT, "x", 1e6)
+    builder.branch(probability=p_left)
+    builder.task("left", 1e6)
+    builder.branch(probability=1.0 - p_left)
+    builder.task("right", 1e6)
+    builder.join("xe", 1e6)
+    return builder.build()
+
+
+@pytest.fixture
+def deployed():
+    workflow = xor_workflow()
+    network = bus_network([1e9, 1e9], speed_bps=100e6)
+    deployment = Deployment.round_robin(workflow, network)
+    return workflow, network, deployment
+
+
+class TestObserve:
+    def test_frequencies_sum_to_one_per_split(self, deployed):
+        workflow, network, deployment = deployed
+        frequencies = observe_branch_frequencies(
+            workflow, network, deployment, runs=500, rng=1
+        )
+        total = frequencies[("x", "left")] + frequencies[("x", "right")]
+        assert total == pytest.approx(1.0)
+
+    def test_frequencies_match_annotations(self, deployed):
+        workflow, network, deployment = deployed
+        frequencies = observe_branch_frequencies(
+            workflow, network, deployment, runs=2_000, rng=2
+        )
+        assert frequencies[("x", "left")] == pytest.approx(0.8, abs=0.05)
+
+    def test_runs_validated(self, deployed):
+        workflow, network, deployment = deployed
+        with pytest.raises(ExperimentError):
+            observe_branch_frequencies(
+                workflow, network, deployment, runs=0
+            )
+
+    def test_no_xor_yields_empty(self, line3, bus3):
+        deployment = Deployment.all_on_one(line3, "S1")
+        assert (
+            observe_branch_frequencies(line3, bus3, deployment, runs=5)
+            == {}
+        )
+
+    def test_shared_branch_head_rejected(self, bus3):
+        """A branch head with several predecessors breaks the counting
+        assumption and must be detected, not silently miscounted."""
+        from repro.core.workflow import Operation, Workflow
+
+        workflow = Workflow("shared-head")
+        workflow.add_operations(
+            [
+                Operation("pre", 1e6),
+                Operation("x", 1e6, NodeKind.XOR_SPLIT),
+                Operation("a", 1e6),
+                Operation("b", 1e6),
+                Operation("j", 1e6, NodeKind.XOR_JOIN),
+            ]
+        )
+        workflow.connect("pre", "x", 1)
+        workflow.connect("x", "a", 1, probability=0.5)
+        workflow.connect("x", "b", 1, probability=0.5)
+        workflow.connect("a", "j", 1)
+        workflow.connect("b", "j", 1)
+        workflow.connect("pre", "a", 1)  # second predecessor of head 'a'
+        deployment = Deployment.all_on_one(workflow, "S1")
+        with pytest.raises(ExperimentError):
+            observe_branch_frequencies(workflow, bus3, deployment, runs=5)
+
+
+class TestCalibrate:
+    def test_calibration_moves_probabilities_to_observations(self, deployed):
+        workflow, network, deployment = deployed
+        # pretend monitoring saw a very different world: left rare
+        frequencies = {("x", "left"): 0.1, ("x", "right"): 0.9}
+        calibrated = calibrated_workflow(
+            workflow, frequencies, smoothing=0.0
+        )
+        assert calibrated.message("x", "left").probability == pytest.approx(
+            0.1
+        )
+        probs = execution_probabilities(calibrated)
+        assert probs["left"] == pytest.approx(0.1)
+        # the original is untouched
+        assert workflow.message("x", "left").probability == 0.8
+
+    def test_smoothing_keeps_unseen_branches_positive(self, deployed):
+        workflow, _, _ = deployed
+        frequencies = {("x", "left"): 1.0, ("x", "right"): 0.0}
+        calibrated = calibrated_workflow(workflow, frequencies, smoothing=0.05)
+        assert calibrated.message("x", "right").probability > 0
+        calibrated.validate_xor_probabilities()
+
+    def test_unobserved_split_keeps_prior(self, deployed):
+        workflow, _, _ = deployed
+        calibrated = calibrated_workflow(workflow, {}, smoothing=0.05)
+        assert calibrated.message("x", "left").probability == 0.8
+
+    def test_negative_smoothing_rejected(self, deployed):
+        workflow, _, _ = deployed
+        with pytest.raises(ExperimentError):
+            calibrated_workflow(workflow, {}, smoothing=-0.1)
+
+
+class TestEndToEnd:
+    def test_monitor_and_calibrate_recovers_probabilities(self, deployed):
+        workflow, network, deployment = deployed
+        calibrated = monitor_and_calibrate(
+            workflow, network, deployment, runs=2_000, smoothing=0.01, rng=3
+        )
+        assert calibrated.message("x", "left").probability == pytest.approx(
+            0.8, abs=0.05
+        )
+        calibrated.validate_xor_probabilities()
+
+    def test_calibrated_workflow_is_deployable(self, deployed):
+        from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+
+        workflow, network, deployment = deployed
+        calibrated = monitor_and_calibrate(
+            workflow, network, deployment, runs=100, rng=4
+        )
+        redeployed = HeavyOpsLargeMsgs().deploy(calibrated, network)
+        assert redeployed.is_complete(calibrated)
