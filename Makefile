@@ -1,6 +1,7 @@
 # Convenience targets; everything is also runnable directly with pytest.
 
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench figures claims docs examples all clean
 

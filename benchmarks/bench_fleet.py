@@ -1,0 +1,61 @@
+"""Fleet-controller throughput benchmark.
+
+Replays the built-in ``surge`` scenario -- 200 events against a 20-server
+fleet -- through :class:`~repro.service.controller.FleetController` and
+reports sustained events/second together with the shared-router cache hit
+rate. The numbers land in ``benchmarks/output/fleet_throughput.txt``.
+"""
+
+import time
+
+from repro.experiments.reporting import TextTable
+from repro.service.scenarios import build_scenario, replay
+
+from _common import emit
+
+SEED = 7
+
+
+def _replay_surge():
+    controller = replay("surge", seed=SEED)
+    return controller
+
+
+def bench_fleet_surge_throughput(benchmark):
+    controller = benchmark(_replay_surge)
+    metrics = controller.metrics()
+    assert metrics.events == 200
+
+    # a separate timed pass for the headline events/sec figure (the
+    # pytest-benchmark stats time the same callable with warmup)
+    start = time.perf_counter()
+    fresh = replay("surge", seed=SEED)
+    elapsed = time.perf_counter() - start
+    fresh_metrics = fresh.metrics()
+
+    scenario = build_scenario("surge", seed=SEED)
+    table = TextTable(
+        ["metric", "value"], title="fleet surge throughput (seed 7)"
+    )
+    table.add_row(["servers (initial)", len(scenario.network)])
+    table.add_row(["events", fresh_metrics.events])
+    table.add_row(["elapsed", f"{elapsed:.3f} s"])
+    table.add_row(["events/sec", f"{fresh_metrics.events / elapsed:.1f}"])
+    table.add_row(["admitted", fresh_metrics.admitted])
+    table.add_row(["rejected", fresh_metrics.rejected])
+    table.add_row(["rebalances", fresh_metrics.rebalances])
+    table.add_row(
+        ["router hit rate", f"{fresh_metrics.router_hit_rate:.3f}"]
+    )
+    table.add_row(
+        [
+            "cost-model hit rate",
+            f"{fresh_metrics.cost_model_hit_rate:.3f}",
+        ]
+    )
+    table.add_row(
+        ["placement evaluations", fresh_metrics.placement_evaluations]
+    )
+    emit("fleet_throughput", table)
+
+    assert fresh_metrics.router_hit_rate > 0.5

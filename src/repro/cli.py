@@ -21,6 +21,10 @@ Commands
 ``analyze``
     Structural statistics, region tree and (for deployed instances) the
     critical path.
+``fleet``
+    Replay a scripted multi-tenant fleet scenario through the
+    :class:`~repro.service.controller.FleetController` and print the
+    metrics table (and optionally the full decision log).
 ``algorithms``
     List every registered deployment algorithm.
 
@@ -232,6 +236,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     claims.add_argument("--repetitions", type=int, default=8)
     claims.add_argument("--seed", type=int, default=42)
+
+    from repro.service.scenarios import builtin_scenarios
+
+    fleet = commands.add_parser(
+        "fleet", help="replay a scripted fleet scenario end-to-end"
+    )
+    fleet.add_argument(
+        "--scenario",
+        choices=builtin_scenarios(),
+        default="steady",
+        help="builtin scenario to replay (default: steady)",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--algorithm",
+        default=None,
+        metavar="NAME",
+        help="override the scenario's placement algorithm",
+    )
+    fleet.add_argument(
+        "--log",
+        action="store_true",
+        help="also print the full fleet decision log",
+    )
 
     commands.add_parser("algorithms", help="list registered algorithms")
     return parser
@@ -469,6 +497,38 @@ def _cmd_claims(args) -> int:
     return 0 if report.all_pass else 3
 
 
+def _cmd_fleet(args) -> int:
+    from repro.service.scenarios import build_scenario, replay
+
+    scenario = build_scenario(
+        args.scenario, seed=args.seed, algorithm=args.algorithm
+    )
+    print(
+        f"scenario {scenario.name!r} (seed {args.seed}): "
+        f"{scenario.description}"
+    )
+    print(
+        f"fleet: {len(scenario.network)} servers, "
+        f"{len(scenario.events)} events, "
+        f"algorithm {scenario.config.algorithm}"
+    )
+    controller = replay(scenario)
+    if args.log:
+        print()
+        print(controller.log.to_table())
+    print()
+    print(controller.metrics().to_table())
+    loads = controller.snapshot().loads
+    table = TextTable(
+        ["server", "load"], title="final combined per-server loads"
+    )
+    for server, load in loads.items():
+        table.add_row([server, format_seconds(load)])
+    print()
+    print(table)
+    return 0
+
+
 def _cmd_algorithms(_args) -> int:
     table = TextTable(["name", "class"], title="registered algorithms")
     for name, cls in sorted(algorithm_registry().items()):
@@ -488,6 +548,7 @@ _COMMANDS = {
     "failover": _cmd_failover,
     "figures": _cmd_figures,
     "claims": _cmd_claims,
+    "fleet": _cmd_fleet,
     "algorithms": _cmd_algorithms,
 }
 

@@ -94,3 +94,7 @@ class ExperimentError(ReproError):
 
 class ConstraintViolationError(DeploymentError):
     """A user constraint (section 2.2, set C) was violated by a mapping."""
+
+
+class ServiceError(ReproError):
+    """The fleet controller was misused or a scenario is invalid."""

@@ -1,0 +1,73 @@
+"""The fleet controller service: long-running multi-tenant deployment.
+
+The paper's algorithms place one workflow once. This package is the
+layer its motivating scenario (section 2.1) actually calls for: a
+provider that keeps a fleet of servers hosting many tenants' workflows
+over time, absorbing arrivals, departures, server failures, new
+capacity, and fairness drift -- deterministically, so every lifecycle
+can be replayed and asserted upon byte for byte.
+
+Modules
+-------
+:mod:`repro.service.events`
+    The typed events the controller consumes.
+:mod:`repro.service.state`
+    :class:`FleetState`: the live fleet picture and its shared caches.
+:mod:`repro.service.controller`
+    :class:`FleetController`: the event loop and its policies.
+:mod:`repro.service.log`
+    The append-only decision log and the aggregate metrics snapshot.
+:mod:`repro.service.scenarios`
+    Seeded builtin scenarios and the replay driver behind
+    ``repro fleet``.
+"""
+
+from repro.service.controller import FleetConfig, FleetController, StepClock
+from repro.service.events import (
+    DeployRequest,
+    FleetEvent,
+    ServerFailed,
+    ServerJoined,
+    Tick,
+    UndeployRequest,
+)
+from repro.service.log import FleetLog, FleetMetrics, LogRecord
+from repro.service.scenarios import (
+    Scenario,
+    build_scenario,
+    builtin_scenarios,
+    replay,
+)
+from repro.service.state import (
+    FleetSnapshot,
+    FleetState,
+    InstrumentedRouter,
+    TenantDeployment,
+    jain_index,
+    load_penalty,
+)
+
+__all__ = [
+    "DeployRequest",
+    "FleetConfig",
+    "FleetController",
+    "FleetEvent",
+    "FleetLog",
+    "FleetMetrics",
+    "FleetSnapshot",
+    "FleetState",
+    "InstrumentedRouter",
+    "LogRecord",
+    "Scenario",
+    "ServerFailed",
+    "ServerJoined",
+    "StepClock",
+    "TenantDeployment",
+    "Tick",
+    "UndeployRequest",
+    "build_scenario",
+    "builtin_scenarios",
+    "jain_index",
+    "load_penalty",
+    "replay",
+]

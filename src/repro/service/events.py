@@ -1,0 +1,125 @@
+"""Typed events consumed by the fleet controller.
+
+The controller is deliberately event-driven: everything that can happen
+to a live fleet -- a tenant asking for a workflow to be hosted, a tenant
+leaving, a server failing or joining, and the periodic fairness check --
+is a small immutable value object. Scenarios are then just lists of
+events, which is what makes a whole service lifecycle replayable and
+byte-for-byte reproducible (see :mod:`repro.service.scenarios`).
+
+Every event carries a ``kind`` label used in the :class:`~repro.service.log.FleetLog`
+and the metrics breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.workflow import Workflow
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "FleetEvent",
+    "DeployRequest",
+    "UndeployRequest",
+    "ServerFailed",
+    "ServerJoined",
+    "Tick",
+]
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """Base class for everything the controller can consume.
+
+    Subclasses set :attr:`kind`, the label used in log records and the
+    per-event-kind metrics breakdown.
+    """
+
+    kind = "event"
+
+
+@dataclass(frozen=True)
+class DeployRequest(FleetEvent):
+    """A tenant asks the fleet to host a workflow.
+
+    Attributes
+    ----------
+    tenant:
+        Unique tenant identifier; a second request under the same name
+        is rejected (undeploy first).
+    workflow:
+        The workflow to host. Operation names may collide across tenants;
+        the fleet state namespaces them internally.
+    algorithm:
+        Optional per-request override of the controller's placement
+        algorithm (a registered algorithm name).
+    """
+
+    kind = "deploy"
+
+    tenant: str
+    workflow: Workflow
+    algorithm: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ServiceError("DeployRequest needs a non-empty tenant name")
+
+
+@dataclass(frozen=True)
+class UndeployRequest(FleetEvent):
+    """A tenant leaves; its operations are removed from the fleet."""
+
+    kind = "undeploy"
+
+    tenant: str
+
+
+@dataclass(frozen=True)
+class ServerFailed(FleetEvent):
+    """A server died; its operations are orphaned and must be re-homed."""
+
+    kind = "server-failed"
+
+    server: str
+
+
+@dataclass(frozen=True)
+class ServerJoined(FleetEvent):
+    """New capacity: a server joins the fleet.
+
+    The server is linked to every existing server (the paper's bus
+    assumption -- one shared medium), so the fleet stays connected and
+    routable without topology-specific wiring in scenarios.
+
+    Attributes
+    ----------
+    server:
+        Name of the new server; must not collide with a live one.
+    power_hz:
+        Computational power ``P(s)``.
+    link_speed_bps:
+        Speed of the links attaching it to the existing servers.
+    propagation_s:
+        Propagation delay of those links.
+    """
+
+    kind = "server-joined"
+
+    server: str
+    power_hz: float
+    link_speed_bps: float
+    propagation_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class Tick(FleetEvent):
+    """Periodic maintenance: check fairness drift, maybe rebalance.
+
+    Ticks are explicit events rather than wall-clock timers so that a
+    scenario replay is deterministic: the drift check happens exactly
+    where the trace says it does.
+    """
+
+    kind = "tick"

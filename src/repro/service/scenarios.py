@@ -1,0 +1,283 @@
+"""Scripted, seeded fleet scenarios and the replay driver.
+
+A scenario is a complete service lifecycle frozen into data: an initial
+fleet network, a :class:`~repro.service.controller.FleetConfig`, and an
+ordered event trace (arrivals, departures, failures, joins, ticks). All
+randomness -- workflow shapes, server powers, arrival ordering -- is
+drawn from one seed, and replays run the controller under a
+deterministic :class:`~repro.service.controller.StepClock`, so the same
+``(name, seed)`` pair always produces byte-identical logs and metrics.
+
+Three builtin scenarios cover the interesting regimes:
+
+``steady``
+    A small fleet absorbing tenant arrivals and departures; no
+    infrastructure events. Exercises admission and drift checks.
+``churn``
+    Arrivals under a finite admission capacity plus server failures and
+    a join: the full recovery story, with some requests rejected.
+``surge``
+    A 200-event trace over a 20-server fleet -- the benchmark scenario
+    for events/second throughput and shared-cache hit rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ServiceError
+from repro.network.topology import ServerNetwork
+from repro.service.controller import FleetConfig, FleetController, StepClock
+from repro.service.events import (
+    DeployRequest,
+    FleetEvent,
+    ServerFailed,
+    ServerJoined,
+    Tick,
+    UndeployRequest,
+)
+from repro.workloads.generator import (
+    GraphStructure,
+    line_workflow,
+    random_bus_network,
+    random_graph_workflow,
+)
+
+__all__ = ["Scenario", "builtin_scenarios", "build_scenario", "replay"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One replayable lifecycle: fleet + config + event trace.
+
+    A built scenario is one-shot: the controller takes ownership of
+    (and mutates) :attr:`network`. To replay again, rebuild from the
+    same ``(name, seed)`` -- which is exactly what
+    :func:`replay` does when given a name instead of an instance.
+    """
+
+    name: str
+    description: str
+    network: ServerNetwork
+    config: FleetConfig
+    events: tuple[FleetEvent, ...]
+
+
+def _tenant_workflow(rng: random.Random, index: int, graph_share: float = 0.3):
+    """A small tenant workflow: mostly lines, some random graphs."""
+    size = rng.randint(6, 14)
+    seed = rng.randrange(2**31)
+    if rng.random() < graph_share:
+        return random_graph_workflow(
+            size,
+            GraphStructure.HYBRID,
+            seed=seed,
+            name=f"tenant-{index:03d}-graph",
+        )
+    return line_workflow(size, seed=seed, name=f"tenant-{index:03d}-line")
+
+
+def _build_steady(seed: int) -> Scenario:
+    """Arrivals and departures on a 6-server fleet, no infrastructure."""
+    rng = random.Random(seed)
+    network = random_bus_network(
+        6, seed=rng.randrange(2**31), name="fleet-steady"
+    )
+    events: list[FleetEvent] = []
+    for index in range(1, 9):
+        events.append(
+            DeployRequest(f"tenant-{index:03d}", _tenant_workflow(rng, index))
+        )
+        if index % 3 == 0:
+            events.append(Tick())
+    events.append(UndeployRequest("tenant-002"))
+    events.append(UndeployRequest("tenant-005"))
+    events.append(Tick())
+    for index in range(9, 11):
+        events.append(
+            DeployRequest(f"tenant-{index:03d}", _tenant_workflow(rng, index))
+        )
+    events.append(Tick())
+    config = FleetConfig(drift_threshold=0.3, seed=seed)
+    return Scenario(
+        name="steady",
+        description="8 arrivals, 2 departures, periodic drift checks",
+        network=network,
+        config=config,
+        events=tuple(events),
+    )
+
+
+def _build_churn(seed: int) -> Scenario:
+    """Capacity-limited arrivals with failures and a late join."""
+    rng = random.Random(seed)
+    network = random_bus_network(
+        8, seed=rng.randrange(2**31), name="fleet-churn"
+    )
+    events: list[FleetEvent] = []
+    for index in range(1, 7):
+        events.append(
+            DeployRequest(f"tenant-{index:03d}", _tenant_workflow(rng, index))
+        )
+    events.append(Tick())
+    events.append(ServerFailed("S3"))
+    events.append(Tick())
+    for index in range(7, 13):
+        events.append(
+            DeployRequest(f"tenant-{index:03d}", _tenant_workflow(rng, index))
+        )
+    events.append(ServerFailed("S6"))
+    events.append(Tick())
+    events.append(UndeployRequest("tenant-001"))
+    events.append(UndeployRequest("tenant-004"))
+    events.append(
+        ServerJoined("S9", power_hz=2e9, link_speed_bps=100e6)
+    )
+    events.append(Tick())
+    for index in range(13, 16):
+        events.append(
+            DeployRequest(f"tenant-{index:03d}", _tenant_workflow(rng, index))
+        )
+    events.append(Tick())
+    # ~0.008 s of mean load per mid-size tenant on this fleet: a 0.05 s
+    # cap admits roughly the first half dozen and rejects the overflow.
+    # The tight drift threshold makes post-failure ticks rebalance.
+    config = FleetConfig(
+        admission_load_limit_s=0.05, drift_threshold=0.1, seed=seed
+    )
+    return Scenario(
+        name="churn",
+        description=(
+            "capacity-limited arrivals, 2 failures, 1 join, departures"
+        ),
+        network=network,
+        config=config,
+        events=tuple(events),
+    )
+
+
+def _build_surge(seed: int) -> Scenario:
+    """A 200-event trace over a 20-server fleet (benchmark scenario)."""
+    rng = random.Random(seed)
+    network = random_bus_network(
+        20, seed=rng.randrange(2**31), name="fleet-surge"
+    )
+    events: list[FleetEvent] = []
+    live: list[str] = []
+    index = 0
+    joined = 0
+    failed = 0
+    while len(events) < 200:
+        position = len(events)
+        if position % 10 == 9:
+            events.append(Tick())
+        elif position % 37 == 36 and failed < 3:
+            failed += 1
+            events.append(ServerFailed(f"S{2 * failed}"))
+        elif position % 53 == 52 and joined < 3:
+            joined += 1
+            events.append(
+                ServerJoined(
+                    f"S{20 + joined}",
+                    power_hz=2e9,
+                    link_speed_bps=100e6,
+                )
+            )
+        elif live and rng.random() < 0.18:
+            events.append(UndeployRequest(live.pop(0)))
+        else:
+            index += 1
+            tenant = f"tenant-{index:03d}"
+            events.append(
+                DeployRequest(
+                    tenant, _tenant_workflow(rng, index, graph_share=0.2)
+                )
+            )
+            live.append(tenant)
+    config = FleetConfig(
+        admission_load_limit_s=0.12,
+        drift_threshold=0.3,
+        max_moves_per_rebalance=3,
+        seed=seed,
+    )
+    return Scenario(
+        name="surge",
+        description="200 events over a 20-server fleet (benchmark trace)",
+        network=network,
+        config=config,
+        events=tuple(events),
+    )
+
+
+_BUILTIN: dict[str, Callable[[int], Scenario]] = {
+    "steady": _build_steady,
+    "churn": _build_churn,
+    "surge": _build_surge,
+}
+
+
+def builtin_scenarios() -> tuple[str, ...]:
+    """Names of the builtin scenarios."""
+    return tuple(_BUILTIN)
+
+
+def build_scenario(
+    name: str, seed: int = 0, algorithm: str | None = None
+) -> Scenario:
+    """Materialise the builtin scenario *name* from *seed*.
+
+    *algorithm* overrides the scenario's default placement algorithm.
+    """
+    try:
+        builder = _BUILTIN[name]
+    except KeyError:
+        known = ", ".join(sorted(_BUILTIN))
+        raise ServiceError(
+            f"unknown scenario {name!r}; builtin scenarios: {known}"
+        ) from None
+    scenario = builder(seed)
+    if algorithm is not None:
+        scenario = Scenario(
+            name=scenario.name,
+            description=scenario.description,
+            network=scenario.network,
+            config=FleetConfig(
+                algorithm=algorithm,
+                admission_load_limit_s=scenario.config.admission_load_limit_s,
+                drift_threshold=scenario.config.drift_threshold,
+                max_moves_per_rebalance=scenario.config.max_moves_per_rebalance,
+                execution_weight=scenario.config.execution_weight,
+                penalty_weight=scenario.config.penalty_weight,
+                penalty_mode=scenario.config.penalty_mode,
+                seed=scenario.config.seed,
+            ),
+            events=scenario.events,
+        )
+    return scenario
+
+
+def replay(
+    scenario: Scenario | str,
+    seed: int = 0,
+    algorithm: str | None = None,
+    clock: Callable[[], float] | None = None,
+) -> FleetController:
+    """Run a scenario through a fresh controller; return the controller.
+
+    Accepts a built :class:`Scenario` or a builtin name (built from
+    *seed*). The default clock is a :class:`StepClock`, making the
+    returned controller's log and metrics exact functions of
+    ``(scenario, seed)`` -- pass :func:`time.perf_counter` for real
+    latencies instead.
+    """
+    if isinstance(scenario, str):
+        scenario = build_scenario(scenario, seed=seed, algorithm=algorithm)
+    controller = FleetController(
+        scenario.network,
+        config=scenario.config,
+        clock=clock if clock is not None else StepClock(),
+    )
+    controller.run(scenario.events)
+    return controller

@@ -1,0 +1,432 @@
+"""Live fleet state: servers, tenants, and the shared evaluation caches.
+
+The one-shot experiment modules treat a (workflow, network) pair as an
+immutable problem instance. A long-running provider has neither luxury:
+servers come and go, tenants arrive and leave, and every admission or
+recovery decision must be priced against the *cumulative* load of
+everything already hosted. :class:`FleetState` owns exactly that mutable
+picture:
+
+* the fleet :class:`~repro.network.topology.ServerNetwork`, mutated by
+  joins and rebuilt (via the failover machinery) by failures;
+* one :class:`~repro.core.mapping.Deployment` per tenant, so operation
+  names never collide across tenants;
+* a shared :class:`InstrumentedRouter` and a per-tenant
+  :class:`~repro.core.cost.CostModel` cache, both invalidated together
+  whenever the topology changes -- the "shared cost-evaluation cache
+  across tenants" that makes a 200-event replay cheap.
+
+All aggregate metrics (combined loads, fairness penalty, Jain balance
+index, the scalar fleet objective) are deterministic functions of the
+state, which is what lets the controller log byte-identical replays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.cost import PENALTY_MODES, CostModel
+from repro.core.mapping import Deployment
+from repro.core.workflow import Workflow
+from repro.exceptions import ServiceError
+from repro.experiments.failover import remove_server
+from repro.network.routing import Router
+from repro.network.topology import Link, Server, ServerNetwork
+
+__all__ = [
+    "InstrumentedRouter",
+    "TenantDeployment",
+    "FleetSnapshot",
+    "FleetState",
+    "load_penalty",
+    "jain_index",
+]
+
+
+class InstrumentedRouter(Router):
+    """A :class:`~repro.network.routing.Router` that counts cache hits.
+
+    The fleet shares one router across every tenant's cost model, so the
+    hit rate directly measures how much cross-tenant reuse the shared
+    cache buys -- one of the headline fleet metrics.
+    """
+
+    def __init__(self, network: ServerNetwork):
+        super().__init__(network)
+        self.hits = 0
+        self.misses = 0
+
+    def transmission_time(
+        self, source: str, target: str, size_bits: float
+    ) -> float:
+        """Memoised ``Ttrans``; co-located queries bypass the cache."""
+        if source != target:
+            if (source, target, size_bits) in self._time_cache:
+                self.hits += 1
+            else:
+                self.misses += 1
+        return super().transmission_time(source, target, size_bits)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of non-co-located queries served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class TenantDeployment:
+    """One hosted tenant: its workflow and current mapping."""
+
+    tenant: str
+    workflow: Workflow
+    deployment: Deployment
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """Aggregate health of the fleet at one instant.
+
+    Attributes
+    ----------
+    execution_time:
+        Max ``Texecute`` over all tenants (they run concurrently, as in
+        :mod:`repro.experiments.multi_workflow`); 0 with no tenants.
+    time_penalty:
+        Fairness penalty over the *combined* per-server loads.
+    objective:
+        ``execution_weight * execution_time + penalty_weight * time_penalty``
+        -- the fleet-level scalar the drift check and rebalances optimise.
+    loads:
+        Combined per-server load in seconds (every server listed).
+    balance_index:
+        Jain's fairness index of the loads: 1.0 is perfectly fair,
+        ``1/N`` is everything on one of N servers.
+    tenants:
+        Number of hosted tenants.
+    """
+
+    execution_time: float
+    time_penalty: float
+    objective: float
+    loads: Mapping[str, float]
+    balance_index: float
+    tenants: int
+
+
+def load_penalty(values: list[float], mode: str) -> float:
+    """The :data:`~repro.core.cost.PENALTY_MODES` statistic over *values*."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    deviations = [abs(v - mean) for v in values]
+    if mode == "mad":
+        return sum(deviations) / len(values)
+    if mode == "sum_abs":
+        return sum(deviations)
+    if mode == "max":
+        return max(deviations)
+    return math.sqrt(sum(d * d for d in deviations) / len(values))
+
+
+def jain_index(loads: Mapping[str, float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when every server carries the same load; an idle fleet is
+    considered perfectly fair.
+    """
+    values = list(loads.values())
+    if not values:
+        return 1.0
+    square_sum = sum(v * v for v in values)
+    if square_sum <= 0:
+        return 1.0
+    total = sum(values)
+    return total * total / (len(values) * square_sum)
+
+
+class FleetState:
+    """Mutable multi-tenant fleet: network + per-tenant deployments.
+
+    Parameters
+    ----------
+    network:
+        The initial server fleet. The state takes ownership: joins mutate
+        it and failures replace it with a shrunken copy.
+    execution_weight, penalty_weight, penalty_mode:
+        Fleet-objective knobs, with the same semantics (and defaults) as
+        :class:`~repro.core.cost.CostModel`.
+    """
+
+    def __init__(
+        self,
+        network: ServerNetwork,
+        execution_weight: float = 0.5,
+        penalty_weight: float = 0.5,
+        penalty_mode: str = "mad",
+    ):
+        if penalty_mode not in PENALTY_MODES:
+            raise ServiceError(
+                f"unknown penalty mode {penalty_mode!r}; expected one of "
+                f"{PENALTY_MODES}"
+            )
+        self._network = network
+        self.execution_weight = execution_weight
+        self.penalty_weight = penalty_weight
+        self.penalty_mode = penalty_mode
+        self._router = InstrumentedRouter(network)
+        self._tenants: dict[str, TenantDeployment] = {}
+        self._cost_models: dict[str, CostModel] = {}
+        self.cost_model_hits = 0
+        self.cost_model_misses = 0
+        #: Bumped on every topology change; cache keys include it.
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> ServerNetwork:
+        """The current fleet network (replaced on server failure)."""
+        return self._network
+
+    @property
+    def router(self) -> InstrumentedRouter:
+        """The shared router (replaced, counters preserved, on failure)."""
+        return self._router
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Hosted tenant names in admission order."""
+        return tuple(self._tenants)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def tenant(self, name: str) -> TenantDeployment:
+        """The :class:`TenantDeployment` for *name* or raise."""
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ServiceError(f"no tenant {name!r} in the fleet") from None
+
+    # ------------------------------------------------------------------
+    # tenant lifecycle
+    # ------------------------------------------------------------------
+    def add_tenant(
+        self,
+        tenant: str,
+        workflow: Workflow,
+        deployment: Deployment,
+        cost_model: CostModel | None = None,
+    ) -> TenantDeployment:
+        """Register a placed tenant; raise on duplicates.
+
+        A *cost_model* already built for the admission decision (against
+        the current topology and shared router) seeds the cache.
+        """
+        if tenant in self._tenants:
+            raise ServiceError(f"tenant {tenant!r} is already hosted")
+        deployment.validate(workflow, self._network)
+        record = TenantDeployment(tenant, workflow, deployment)
+        self._tenants[tenant] = record
+        if cost_model is not None:
+            self._cost_models[tenant] = cost_model
+        return record
+
+    def remove_tenant(self, tenant: str) -> TenantDeployment:
+        """Drop *tenant* and its cached cost model."""
+        record = self.tenant(tenant)
+        del self._tenants[tenant]
+        self._cost_models.pop(tenant, None)
+        return record
+
+    # ------------------------------------------------------------------
+    # shared evaluation caches
+    # ------------------------------------------------------------------
+    def cost_model(self, tenant: str) -> CostModel:
+        """The tenant's cost model, cached until the topology changes."""
+        record = self.tenant(tenant)
+        cached = self._cost_models.get(tenant)
+        if cached is not None:
+            self.cost_model_hits += 1
+            return cached
+        self.cost_model_misses += 1
+        model = CostModel(
+            record.workflow,
+            self._network,
+            execution_weight=self.execution_weight,
+            penalty_weight=self.penalty_weight,
+            penalty_mode=self.penalty_mode,
+            router=self._router,
+        )
+        self._cost_models[tenant] = model
+        return model
+
+    def build_cost_model(self, workflow: Workflow) -> CostModel:
+        """A cost model for a not-yet-admitted workflow (shared router).
+
+        Counted as a cost-model cache miss: it is the cold build whose
+        result :meth:`add_tenant` seeds into the cache on admission.
+        """
+        self.cost_model_misses += 1
+        return CostModel(
+            workflow,
+            self._network,
+            execution_weight=self.execution_weight,
+            penalty_weight=self.penalty_weight,
+            penalty_mode=self.penalty_mode,
+            router=self._router,
+        )
+
+    def _invalidate_caches(self) -> None:
+        """Topology changed: drop every route and cost-model cache."""
+        self.epoch += 1
+        self._cost_models.clear()
+        router = InstrumentedRouter(self._network)
+        router.hits = self._router.hits
+        router.misses = self._router.misses
+        self._router = router
+
+    # ------------------------------------------------------------------
+    # aggregate load accounting
+    # ------------------------------------------------------------------
+    def total_weighted_cycles(self) -> float:
+        """Probability-weighted cycles of every hosted operation."""
+        return sum(
+            self.cost_model(name).total_weighted_cycles()
+            for name in self._tenants
+        )
+
+    def mean_load_s(self, extra_cycles: float = 0.0) -> float:
+        """Average per-server load in seconds, optionally projected.
+
+        ``(hosted weighted cycles + extra_cycles) / Sum_Capacity`` -- the
+        load every server would carry under a perfectly fair spread.
+        This is the admission-control currency: *extra_cycles* prices a
+        candidate workflow before it is placed.
+        """
+        return (
+            self.total_weighted_cycles() + extra_cycles
+        ) / self._network.total_power_hz
+
+    def hosted_cycles(self) -> dict[str, float]:
+        """Weighted cycles currently hosted per server (0 when idle).
+
+        Unassigned operations (orphans mid-recovery) contribute nothing.
+        """
+        totals = {name: 0.0 for name in self._network.server_names}
+        for name, record in self._tenants.items():
+            model = self.cost_model(name)
+            for operation in record.workflow:
+                server = record.deployment.get(operation.name)
+                if server is None:
+                    continue
+                totals[server] += (
+                    operation.cycles * model.node_probability(operation.name)
+                )
+        return totals
+
+    def remaining_budgets(self, extra_cycles: float = 0.0) -> dict[str, float]:
+        """Capacity-proportional cycle headroom per server.
+
+        ``Ideal_Cycles(s) - hosted(s)`` computed fleet-wide: the ideal
+        share uses the *total* hosted weighted cycles (plus
+        *extra_cycles* for work about to be placed), so the worst-fit
+        placement and re-homing policies of the one-shot experiments
+        generalise unchanged to the multi-tenant fleet.
+        """
+        total = self.total_weighted_cycles() + extra_cycles
+        capacity = self._network.total_power_hz
+        hosted = self.hosted_cycles()
+        return {
+            server.name: total * server.power_hz / capacity
+            - hosted[server.name]
+            for server in self._network
+        }
+
+    def combined_loads(self) -> dict[str, float]:
+        """Per-server load in seconds summed over every tenant."""
+        totals = {name: 0.0 for name in self._network.server_names}
+        for name, record in self._tenants.items():
+            for server, load in (
+                self.cost_model(name).loads(record.deployment).items()
+            ):
+                totals[server] += load
+        return totals
+
+    def snapshot(self) -> FleetSnapshot:
+        """The current :class:`FleetSnapshot` (see its attribute docs)."""
+        loads = self.combined_loads()
+        execution = max(
+            (
+                self.cost_model(name).execution_time(record.deployment)
+                for name, record in self._tenants.items()
+            ),
+            default=0.0,
+        )
+        penalty = load_penalty(list(loads.values()), self.penalty_mode)
+        return FleetSnapshot(
+            execution_time=execution,
+            time_penalty=penalty,
+            objective=(
+                self.execution_weight * execution
+                + self.penalty_weight * penalty
+            ),
+            loads=loads,
+            balance_index=jain_index(loads),
+            tenants=len(self._tenants),
+        )
+
+    # ------------------------------------------------------------------
+    # topology changes
+    # ------------------------------------------------------------------
+    def fail_server(self, server: str) -> dict[str, tuple[str, ...]]:
+        """Remove *server*; return the orphaned operations per tenant.
+
+        The network is rebuilt without the server (reusing the failover
+        experiment's :func:`~repro.experiments.failover.remove_server`),
+        orphaned assignments are dropped from the affected tenants'
+        deployments, and every evaluation cache is invalidated. Callers
+        (the controller) are responsible for re-homing the orphans.
+        """
+        self._network.server(server)  # raise early on unknown names
+        if len(self._network) <= 1:
+            raise ServiceError(
+                f"cannot fail {server!r}: it is the only fleet server"
+            )
+        orphans: dict[str, tuple[str, ...]] = {}
+        for name, record in self._tenants.items():
+            lost = record.deployment.operations_on(server)
+            if lost:
+                orphans[name] = lost
+                for operation in lost:
+                    record.deployment.unassign(operation)
+        self._network = remove_server(self._network, server)
+        self._invalidate_caches()
+        return orphans
+
+    def join_server(
+        self,
+        server: str,
+        power_hz: float,
+        link_speed_bps: float,
+        propagation_s: float = 0.0,
+    ) -> Server:
+        """Add a server linked to every existing server (bus semantics)."""
+        if server in self._network:
+            raise ServiceError(f"server {server!r} is already in the fleet")
+        joined = Server(server, power_hz)
+        existing = self._network.server_names
+        self._network.add_server(joined)
+        for other in existing:
+            self._network.add_link(
+                Link(other, server, link_speed_bps, propagation_s)
+            )
+        self._invalidate_caches()
+        return joined

@@ -1,0 +1,36 @@
+"""Shared fixtures for the fleet-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workflow import Operation, Workflow
+from repro.network.topology import bus_network
+
+
+@pytest.fixture
+def fleet_network():
+    """A 4-server uniform bus: 1/1/2/2 GHz at 100 Mbps."""
+    return bus_network([1e9, 1e9, 2e9, 2e9], 100e6, name="test-fleet")
+
+
+def make_line(name: str, cycles: list[float], bits: float = 10_000):
+    """A line workflow ``<name>.O1 -> ... -> O<n>`` with given cycles."""
+    workflow = Workflow(name)
+    previous = None
+    for index, value in enumerate(cycles, start=1):
+        operation = workflow.add_operation(Operation(f"O{index}", value))
+        if previous is not None:
+            workflow.connect(previous.name, operation.name, bits)
+        previous = operation
+    return workflow
+
+
+@pytest.fixture
+def tenant_workflows():
+    """Three small line workflows of distinct total weight."""
+    return {
+        "alpha": make_line("alpha", [10e6, 20e6, 30e6]),
+        "beta": make_line("beta", [40e6, 50e6]),
+        "gamma": make_line("gamma", [15e6, 15e6, 15e6, 15e6]),
+    }

@@ -1,0 +1,23 @@
+"""Determinism contract: replaying a seeded scenario is byte-identical."""
+
+import pytest
+
+from repro.service.scenarios import replay
+
+
+@pytest.mark.parametrize("name", ["steady", "churn"])
+class TestByteIdenticalReplay:
+    def test_fleet_log_is_byte_identical(self, name):
+        first = replay(name, seed=7).log.to_text()
+        second = replay(name, seed=7).log.to_text()
+        assert first == second
+
+    def test_metrics_are_byte_identical(self, name):
+        first = replay(name, seed=7).metrics().to_text()
+        second = replay(name, seed=7).metrics().to_text()
+        assert first == second
+
+    def test_different_seeds_diverge(self, name):
+        base = replay(name, seed=7).log.to_text()
+        other = replay(name, seed=8).log.to_text()
+        assert base != other

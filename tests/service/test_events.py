@@ -1,0 +1,48 @@
+"""Unit tests for the typed fleet events."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.events import (
+    DeployRequest,
+    ServerFailed,
+    ServerJoined,
+    Tick,
+    UndeployRequest,
+)
+
+from .conftest import make_line
+
+
+class TestEventKinds:
+    def test_every_event_carries_a_distinct_kind(self):
+        workflow = make_line("w", [1e6])
+        kinds = {
+            DeployRequest("t", workflow).kind,
+            UndeployRequest("t").kind,
+            ServerFailed("S1").kind,
+            ServerJoined("S9", 1e9, 1e8).kind,
+            Tick().kind,
+        }
+        assert kinds == {
+            "deploy",
+            "undeploy",
+            "server-failed",
+            "server-joined",
+            "tick",
+        }
+
+    def test_events_are_immutable(self):
+        event = ServerFailed("S1")
+        with pytest.raises(AttributeError):
+            event.server = "S2"
+
+
+class TestDeployRequest:
+    def test_rejects_empty_tenant_name(self):
+        with pytest.raises(ServiceError, match="non-empty tenant"):
+            DeployRequest("", make_line("w", [1e6]))
+
+    def test_optional_algorithm_override(self):
+        event = DeployRequest("t", make_line("w", [1e6]), algorithm="FairLoad")
+        assert event.algorithm == "FairLoad"

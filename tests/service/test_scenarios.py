@@ -1,0 +1,51 @@
+"""Tests for the built-in fleet scenarios and the replay driver."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.scenarios import build_scenario, builtin_scenarios, replay
+
+
+class TestCatalogue:
+    def test_builtin_names(self):
+        assert builtin_scenarios() == ("steady", "churn", "surge")
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ServiceError, match="unknown scenario"):
+            build_scenario("nope")
+
+    def test_scenarios_carry_descriptions(self):
+        for name in builtin_scenarios():
+            scenario = build_scenario(name, seed=3)
+            assert scenario.name == name
+            assert scenario.description
+            assert scenario.events
+
+
+class TestReplay:
+    def test_replay_processes_every_event(self):
+        scenario = build_scenario("steady", seed=7)
+        planned = len(scenario.events)
+        controller = replay("steady", seed=7)
+        assert len(controller.log) == planned
+        assert controller.metrics().events == planned
+
+    def test_churn_exercises_the_full_lifecycle(self):
+        metrics = replay("churn", seed=7).metrics()
+        assert metrics.rejected > 0  # tight admission cap must bite
+        assert metrics.failures_recovered == 2
+        assert metrics.servers_joined == 1
+        assert metrics.orphans_rehomed > 0
+        assert metrics.rebalances >= 1
+
+    def test_surge_is_exactly_two_hundred_events(self):
+        scenario = build_scenario("surge", seed=0)
+        assert len(scenario.events) == 200
+
+    def test_algorithm_override_applies(self):
+        controller = replay("steady", seed=1, algorithm="FairLoad")
+        admitted = controller.log.filter("deploy", "admitted")
+        assert admitted
+        assert all(
+            record.detail("algorithm") == "FairLoad" for record in admitted
+        )

@@ -1,0 +1,186 @@
+"""Unit tests for :class:`repro.service.state.FleetState` and helpers."""
+
+import pytest
+
+from repro.core.mapping import Deployment
+from repro.exceptions import ServiceError
+from repro.network.topology import bus_network
+from repro.service.state import (
+    FleetState,
+    InstrumentedRouter,
+    jain_index,
+    load_penalty,
+)
+
+from .conftest import make_line
+
+
+def place_round_robin(state, tenant, workflow):
+    """Admit *tenant* with a round-robin placement; returns the record."""
+    deployment = Deployment.round_robin(workflow, state.network)
+    return state.add_tenant(tenant, workflow, deployment)
+
+
+class TestInstrumentedRouter:
+    def test_counts_misses_then_hits(self, fleet_network):
+        router = InstrumentedRouter(fleet_network)
+        router.transmission_time("S1", "S2", 1000)
+        assert (router.hits, router.misses) == (0, 1)
+        router.transmission_time("S1", "S2", 1000)
+        assert (router.hits, router.misses) == (1, 1)
+        assert router.hit_rate == 0.5
+
+    def test_colocated_queries_bypass_the_cache(self, fleet_network):
+        router = InstrumentedRouter(fleet_network)
+        assert router.transmission_time("S1", "S1", 1000) == 0.0
+        assert (router.hits, router.misses) == (0, 0)
+
+
+class TestFairnessHelpers:
+    def test_jain_index_perfectly_fair(self):
+        assert jain_index({"a": 2.0, "b": 2.0, "c": 2.0}) == pytest.approx(1.0)
+
+    def test_jain_index_single_loaded_server(self):
+        assert jain_index({"a": 5.0, "b": 0.0, "c": 0.0, "d": 0.0}) == (
+            pytest.approx(0.25)
+        )
+
+    def test_jain_index_idle_fleet_is_fair(self):
+        assert jain_index({"a": 0.0, "b": 0.0}) == 1.0
+
+    def test_load_penalty_matches_cost_model_modes(self):
+        values = [1.0, 3.0]
+        assert load_penalty(values, "mad") == pytest.approx(1.0)
+        assert load_penalty(values, "sum_abs") == pytest.approx(2.0)
+        assert load_penalty(values, "max") == pytest.approx(1.0)
+        assert load_penalty(values, "std") == pytest.approx(1.0)
+        assert load_penalty([], "mad") == 0.0
+
+
+class TestTenantLifecycle:
+    def test_add_and_remove_tenant(self, fleet_network, tenant_workflows):
+        state = FleetState(fleet_network)
+        place_round_robin(state, "alpha", tenant_workflows["alpha"])
+        assert "alpha" in state and len(state) == 1
+        removed = state.remove_tenant("alpha")
+        assert removed.tenant == "alpha"
+        assert "alpha" not in state
+
+    def test_duplicate_tenant_rejected(self, fleet_network, tenant_workflows):
+        state = FleetState(fleet_network)
+        place_round_robin(state, "alpha", tenant_workflows["alpha"])
+        with pytest.raises(ServiceError, match="already hosted"):
+            place_round_robin(state, "alpha", tenant_workflows["alpha"])
+
+    def test_unknown_tenant_raises(self, fleet_network):
+        state = FleetState(fleet_network)
+        with pytest.raises(ServiceError, match="no tenant"):
+            state.tenant("ghost")
+
+
+class TestSharedCaches:
+    def test_cost_model_cached_until_topology_changes(
+        self, fleet_network, tenant_workflows
+    ):
+        state = FleetState(fleet_network)
+        place_round_robin(state, "alpha", tenant_workflows["alpha"])
+        first = state.cost_model("alpha")
+        assert state.cost_model("alpha") is first
+        assert (state.cost_model_hits, state.cost_model_misses) == (1, 1)
+        state.join_server("S9", 1e9, 100e6)
+        rebuilt = state.cost_model("alpha")
+        assert rebuilt is not first
+        assert state.cost_model_misses == 2
+
+    def test_router_counters_survive_failure(
+        self, fleet_network, tenant_workflows
+    ):
+        state = FleetState(fleet_network)
+        place_round_robin(state, "alpha", tenant_workflows["alpha"])
+        state.combined_loads()
+        state.cost_model("alpha").execution_time(
+            state.tenant("alpha").deployment
+        )
+        before = state.router.misses
+        assert before > 0
+        state.fail_server("S4")
+        assert state.router.misses == before  # counters carried over
+        assert state.router.network is state.network
+
+
+class TestAggregates:
+    def test_combined_loads_sum_over_tenants(
+        self, fleet_network, tenant_workflows
+    ):
+        state = FleetState(fleet_network)
+        for tenant in ("alpha", "beta"):
+            place_round_robin(state, tenant, tenant_workflows[tenant])
+        loads = state.combined_loads()
+        expected = {name: 0.0 for name in state.network.server_names}
+        for tenant in ("alpha", "beta"):
+            record = state.tenant(tenant)
+            for server, load in (
+                state.cost_model(tenant).loads(record.deployment).items()
+            ):
+                expected[server] += load
+        assert loads == pytest.approx(expected)
+
+    def test_mean_load_projection(self, fleet_network, tenant_workflows):
+        state = FleetState(fleet_network)
+        place_round_robin(state, "alpha", tenant_workflows["alpha"])
+        base = state.mean_load_s()
+        assert base == pytest.approx(60e6 / fleet_network.total_power_hz)
+        projected = state.mean_load_s(extra_cycles=90e6)
+        assert projected == pytest.approx(
+            150e6 / fleet_network.total_power_hz
+        )
+
+    def test_remaining_budgets_sum_to_extra_cycles(
+        self, fleet_network, tenant_workflows
+    ):
+        state = FleetState(fleet_network)
+        place_round_robin(state, "alpha", tenant_workflows["alpha"])
+        budgets = state.remaining_budgets(extra_cycles=50e6)
+        # ideal shares sum to hosted + extra; hosted subtracts itself
+        assert sum(budgets.values()) == pytest.approx(50e6)
+
+    def test_empty_fleet_snapshot(self, fleet_network):
+        snapshot = FleetState(fleet_network).snapshot()
+        assert snapshot.execution_time == 0.0
+        assert snapshot.objective == 0.0
+        assert snapshot.balance_index == 1.0
+        assert snapshot.tenants == 0
+
+
+class TestTopologyChanges:
+    def test_fail_server_orphans_and_rebuild(
+        self, fleet_network, tenant_workflows
+    ):
+        state = FleetState(fleet_network)
+        for tenant in ("alpha", "beta", "gamma"):
+            place_round_robin(state, tenant, tenant_workflows[tenant])
+        orphans = state.fail_server("S1")
+        assert "S1" not in state.network
+        assert orphans  # round-robin put something on every server
+        for tenant, operations in orphans.items():
+            deployment = state.tenant(tenant).deployment
+            for operation in operations:
+                assert deployment.get(operation) is None
+
+    def test_fail_last_server_rejected(self):
+        state = FleetState(bus_network([1e9], 1e8))
+        with pytest.raises(ServiceError, match="only fleet server"):
+            state.fail_server("S1")
+
+    def test_join_server_links_to_everyone(self, fleet_network):
+        state = FleetState(fleet_network)
+        state.join_server("S9", 1.5e9, 50e6)
+        assert "S9" in state.network
+        for other in ("S1", "S2", "S3", "S4"):
+            assert state.network.has_link(other, "S9")
+        assert state.network.is_connected()
+
+    def test_join_duplicate_server_rejected(self, fleet_network):
+        state = FleetState(fleet_network)
+        with pytest.raises(ServiceError, match="already in the fleet"):
+            state.join_server("S1", 1e9, 1e8)

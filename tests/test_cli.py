@@ -46,6 +46,7 @@ class TestParser:
             "quality",
             "analyze",
             "algorithms",
+            "fleet",
         ):
             assert command in text
 
@@ -304,6 +305,27 @@ class TestFailover:
             ]
         )
         assert code == 0
+
+
+class TestFleet:
+    def test_replays_builtin_scenario(self, capsys):
+        code = main(["fleet", "--scenario", "steady", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'steady'" in out
+        assert "fleet metrics" in out
+        assert "final combined per-server loads" in out
+
+    def test_log_flag_prints_decision_log(self, capsys):
+        code = main(["fleet", "--scenario", "steady", "--seed", "1", "--log"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet decision log" in out
+        assert "admitted" in out
+
+    def test_rejects_unknown_scenario(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--scenario", "nope"])
 
 
 def test_algorithms_lists_registry(capsys):
