@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench figures claims docs examples all clean
+.PHONY: install test bench bench-smoke figures claims docs examples all clean
 
 install:
 	pip install -e .
@@ -13,6 +13,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# tiny-parameter smoke run of the move-evaluation bench (used by CI):
+# exercises both pricing code paths without asserting the speedup floor
+bench-smoke:
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py --benchmark-disable -q
 
 figures:
 	$(PYTHON) -m repro figures --output benchmarks/output

@@ -34,9 +34,10 @@ from repro.algorithms.base import (
 )
 from repro.algorithms.fair_load import sorted_operations_by_cost
 from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.core.incremental import TableScorer
 from repro.core.mapping import Deployment
 from repro.core.workflow import NodeKind
-from repro.exceptions import SearchSpaceTooLargeError
+from repro.exceptions import AlgorithmError, SearchSpaceTooLargeError
 
 __all__ = ["BranchAndBound"]
 
@@ -59,8 +60,10 @@ class BranchAndBound(DeploymentAlgorithm):
     name = "BranchAndBound"
 
     def __init__(self, node_limit: int = DEFAULT_NODE_LIMIT):
+        # same contract as Exhaustive: a bad argument is AlgorithmError,
+        # SearchSpaceTooLargeError is reserved for the search outcome
         if node_limit < 1:
-            raise SearchSpaceTooLargeError("node_limit must be >= 1")
+            raise AlgorithmError("node_limit must be >= 1")
         self.node_limit = node_limit
         self.nodes_explored = 0
 
@@ -188,10 +191,15 @@ class BranchAndBound(DeploymentAlgorithm):
         fastest_hz = max(server.power_hz for server in network)
         servers = list(network.server_names)
 
+        # leaf evaluation goes through the table-based scorer: one leaf
+        # costs a forward pass, not two validation sweeps plus a
+        # throwaway Deployment
+        scorer = TableScorer(cost_model)
+
         incumbent = HeavyOpsLargeMsgs().deploy(
             workflow, network, cost_model=cost_model, rng=context.rng
         )
-        best_value = cost_model.objective(incumbent)
+        best_value = scorer.score_mapping(incumbent.as_dict())
         best_mapping = incumbent.as_dict()
 
         assignment: dict[str, str] = {}
@@ -220,7 +228,7 @@ class BranchAndBound(DeploymentAlgorithm):
                     f"raise node_limit or use a heuristic"
                 )
             if index == len(order):
-                value = cost_model.objective(Deployment(assignment))
+                value = scorer.score_mapping(assignment)
                 if value < best_value:
                     best_value = value
                     best_mapping = dict(assignment)

@@ -25,7 +25,7 @@ from repro.algorithms.base import (
 from repro.core.cost import CostBreakdown, CostModel
 from repro.core.mapping import Deployment
 from repro.core.workflow import Workflow
-from repro.exceptions import SearchSpaceTooLargeError
+from repro.exceptions import AlgorithmError, SearchSpaceTooLargeError
 from repro.network.topology import ServerNetwork
 
 __all__ = ["Exhaustive", "EvaluatedMapping"]
@@ -58,8 +58,11 @@ class Exhaustive(DeploymentAlgorithm):
     name = "Exhaustive"
 
     def __init__(self, limit: int = DEFAULT_LIMIT):
+        # a bad argument is a configuration error, not a search outcome:
+        # raising SearchSpaceTooLargeError here would be swallowed by
+        # callers that catch it to fall back to a heuristic
         if limit < 1:
-            raise SearchSpaceTooLargeError("limit must be >= 1")
+            raise AlgorithmError("limit must be >= 1")
         self.limit = limit
 
     def search_space_size(self, workflow: Workflow, network: ServerNetwork) -> int:

@@ -4,7 +4,10 @@ A straightforward GA over complete mappings, included as a stronger
 stochastic baseline than simulated annealing for the ablation benches:
 
 * a chromosome is the tuple of server choices, one gene per operation;
-* fitness is the negative scalar objective of the cost model;
+* fitness is the negative scalar objective of the cost model, scored
+  table-based through :class:`~repro.core.incremental.TableScorer` --
+  no throwaway ``Deployment`` (or its validation passes) per fitness
+  call, which is the GA's entire inner loop;
 * tournament selection, uniform crossover, per-gene reset mutation,
   elitism of the single best individual;
 * the initial population mixes random mappings with the greedy suite's
@@ -20,6 +23,7 @@ from repro.algorithms.base import (
 )
 from repro.algorithms.fair_load import FairLoad
 from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.core.incremental import TableScorer
 from repro.core.mapping import Deployment
 from repro.exceptions import AlgorithmError
 
@@ -80,6 +84,7 @@ class GeneticAlgorithm(DeploymentAlgorithm):
         cost_model = context.cost_model
         operations = context.workflow.operation_names
         servers = context.network.server_names
+        scorer = TableScorer(cost_model, operations)
 
         def random_genome() -> tuple[str, ...]:
             return tuple(rng.choice(servers) for _ in operations)
@@ -88,9 +93,7 @@ class GeneticAlgorithm(DeploymentAlgorithm):
             return tuple(deployment.server_of(name) for name in operations)
 
         def fitness(genome: tuple[str, ...]) -> float:
-            return -cost_model.objective(
-                Deployment(dict(zip(operations, genome)))
-            )
+            return -scorer.objective(genome)
 
         population: list[tuple[str, ...]] = []
         if self.seed_with_heuristics:

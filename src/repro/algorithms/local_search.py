@@ -11,6 +11,14 @@ server -- over the cost model's scalar objective:
   geometric cooling schedule; escapes the local optima hill climbing gets
   stuck in, at the price of more evaluations.
 
+Candidate moves are priced through the
+:class:`~repro.core.incremental.MoveEvaluator`, so one proposal costs a
+dirty-region forward pass instead of a full ``CostModel.objective()``;
+``use_incremental=False`` selects the original full-evaluation path
+(kept as the reference implementation -- the regression tests assert
+both return byte-identical deployments for a fixed seed, and the
+benchmarks measure the speedup between them).
+
 Each accepts any registered algorithm (or explicit deployment) as its
 starting point, so they compose naturally: ``HillClimbing(seed_algorithm=
 HeavyOpsLargeMsgs())`` polishes the paper's winner.
@@ -25,6 +33,7 @@ from repro.algorithms.base import (
     ProblemContext,
     register_algorithm,
 )
+from repro.core.incremental import MoveEvaluator
 from repro.core.mapping import Deployment
 from repro.exceptions import AlgorithmError
 
@@ -34,8 +43,13 @@ __all__ = ["HillClimbing", "SimulatedAnnealing"]
 class _RefinementBase(DeploymentAlgorithm):
     """Shared starting-point handling for the refinement algorithms."""
 
-    def __init__(self, seed_algorithm: DeploymentAlgorithm | None = None):
+    def __init__(
+        self,
+        seed_algorithm: DeploymentAlgorithm | None = None,
+        use_incremental: bool = True,
+    ):
         self.seed_algorithm = seed_algorithm
+        self.use_incremental = use_incremental
 
     def _starting_mapping(self, context: ProblemContext) -> Deployment:
         if self.seed_algorithm is not None:
@@ -59,6 +73,10 @@ class HillClimbing(_RefinementBase):
     max_iterations:
         Upper bound on improvement rounds; each round scans the full
         ``M x (N - 1)`` move neighbourhood.
+    use_incremental:
+        Price moves with the incremental
+        :class:`~repro.core.incremental.MoveEvaluator` (default) or fall
+        back to one full ``CostModel.objective()`` per candidate.
     """
 
     name = "HillClimbing"
@@ -67,15 +85,44 @@ class HillClimbing(_RefinementBase):
         self,
         seed_algorithm: DeploymentAlgorithm | None = None,
         max_iterations: int = 1_000,
+        use_incremental: bool = True,
     ):
-        super().__init__(seed_algorithm)
+        super().__init__(seed_algorithm, use_incremental)
         if max_iterations < 1:
             raise AlgorithmError("max_iterations must be >= 1")
         self.max_iterations = max_iterations
 
     def _deploy(self, context: ProblemContext) -> Deployment:
-        cost_model = context.cost_model
         current = self._starting_mapping(context)
+        if self.use_incremental:
+            return self._deploy_incremental(context, current)
+        return self._deploy_full(context, current)
+
+    def _deploy_incremental(
+        self, context: ProblemContext, current: Deployment
+    ) -> Deployment:
+        evaluator = MoveEvaluator(context.cost_model, current)
+        for _ in range(self.max_iterations):
+            best_move: tuple[str, str] | None = None
+            best_value = evaluator.objective
+            for operation in context.workflow.operation_names:
+                original = current.server_of(operation)
+                for server in context.network.server_names:
+                    if server == original:
+                        continue
+                    value = evaluator.propose_value(operation, server)
+                    if value < best_value:
+                        best_value = value
+                        best_move = (operation, server)
+            if best_move is None:
+                break
+            evaluator.apply(*best_move)
+        return current
+
+    def _deploy_full(
+        self, context: ProblemContext, current: Deployment
+    ) -> Deployment:
+        cost_model = context.cost_model
         current_value = cost_model.objective(current)
         for _ in range(self.max_iterations):
             best_move: tuple[str, str] | None = None
@@ -114,6 +161,10 @@ class SimulatedAnnealing(_RefinementBase):
         Geometric cooling factor per step, in ``(0, 1)``.
     steps:
         Number of proposed moves.
+    use_incremental:
+        Price moves with the incremental
+        :class:`~repro.core.incremental.MoveEvaluator` (default) or fall
+        back to one full ``CostModel.objective()`` per proposal.
     """
 
     name = "SimulatedAnnealing"
@@ -124,8 +175,9 @@ class SimulatedAnnealing(_RefinementBase):
         initial_temperature: float = 0.5,
         cooling: float = 0.995,
         steps: int = 2_000,
+        use_incremental: bool = True,
     ):
-        super().__init__(seed_algorithm)
+        super().__init__(seed_algorithm, use_incremental)
         if initial_temperature <= 0:
             raise AlgorithmError("initial_temperature must be > 0")
         if not 0.0 < cooling < 1.0:
@@ -137,11 +189,47 @@ class SimulatedAnnealing(_RefinementBase):
         self.steps = steps
 
     def _deploy(self, context: ProblemContext) -> Deployment:
+        current = self._starting_mapping(context)
+        if self.use_incremental:
+            return self._deploy_incremental(context, current)
+        return self._deploy_full(context, current)
+
+    def _deploy_incremental(
+        self, context: ProblemContext, current: Deployment
+    ) -> Deployment:
+        rng = context.rng
+        operations = context.workflow.operation_names
+        servers = context.network.server_names
+        evaluator = MoveEvaluator(context.cost_model, current)
+        best = current.copy()
+        best_value = evaluator.objective
+        if len(servers) == 1:
+            return best  # no move neighbourhood exists
+        temperature = self.initial_temperature * max(
+            evaluator.objective, 1e-12
+        )
+        for _ in range(self.steps):
+            operation = rng.choice(operations)
+            original = current.server_of(operation)
+            alternatives = [s for s in servers if s != original]
+            server = rng.choice(alternatives)
+            outcome = evaluator.propose(operation, server)
+            delta = outcome.delta
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                evaluator.commit()
+                if outcome.objective < best_value:
+                    best_value = outcome.objective
+                    best = current.copy()
+            temperature *= self.cooling
+        return best
+
+    def _deploy_full(
+        self, context: ProblemContext, current: Deployment
+    ) -> Deployment:
         cost_model = context.cost_model
         rng = context.rng
         operations = context.workflow.operation_names
         servers = context.network.server_names
-        current = self._starting_mapping(context)
         current_value = cost_model.objective(current)
         best = current.copy()
         best_value = current_value

@@ -18,9 +18,10 @@ from repro.algorithms.base import (
     register_algorithm,
 )
 from repro.core.cost import CostBreakdown, CostModel
+from repro.core.incremental import TableScorer
 from repro.core.mapping import Deployment
 from repro.core.workflow import Workflow
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, DeploymentError
 from repro.network.topology import ServerNetwork
 
 __all__ = ["RandomMapping", "SolutionSampler", "SampleStatistics"]
@@ -139,20 +140,39 @@ class SolutionSampler:
         cost_model: CostModel,
         rng,
     ) -> SampleStatistics:
-        """Sample and aggregate; *rng* is ``random.Random``-like."""
-        best_pair: tuple[Deployment, CostBreakdown] | None = None
+        """Sample and aggregate; *rng* is ``random.Random``-like.
+
+        Each sample is scored table-based through
+        :class:`~repro.core.incremental.TableScorer` -- the 32 000-draw
+        protocol multiplies the per-sample cost, so no throwaway
+        ``Deployment`` (or its two validation passes) is built per draw.
+        Genomes are drawn with exactly the rng calls
+        ``Deployment.random`` makes, keeping seeded runs byte-identical
+        to the full-evaluation protocol; only the single best-objective
+        sample is materialised and evaluated in full at the end.
+        """
+        operations = workflow.operation_names
+        servers = network.server_names
+        if not servers:
+            raise DeploymentError("network has no servers")
+        scorer = TableScorer(cost_model, operations)
+        best_genome: tuple[str, ...] | None = None
+        best_objective = float("inf")
         best_execution = float("inf")
         best_penalty = float("inf")
         worst_objective = float("-inf")
         for _ in range(self.samples):
-            deployment = Deployment.random(workflow, network, rng)
-            cost = cost_model.evaluate(deployment)
-            if best_pair is None or cost.objective < best_pair[1].objective:
-                best_pair = (deployment, cost)
-            best_execution = min(best_execution, cost.execution_time)
-            best_penalty = min(best_penalty, cost.time_penalty)
-            worst_objective = max(worst_objective, cost.objective)
-        assert best_pair is not None  # samples >= 1
+            genome = tuple(rng.choice(servers) for _ in operations)
+            execution, penalty, objective = scorer.components(genome)
+            if best_genome is None or objective < best_objective:
+                best_genome = genome
+                best_objective = objective
+            best_execution = min(best_execution, execution)
+            best_penalty = min(best_penalty, penalty)
+            worst_objective = max(worst_objective, objective)
+        assert best_genome is not None  # samples >= 1
+        best_deployment = Deployment(dict(zip(operations, best_genome)))
+        best_pair = (best_deployment, cost_model.evaluate(best_deployment))
         return SampleStatistics(
             samples=self.samples,
             best_objective=best_pair,

@@ -14,6 +14,9 @@ This package implements the formal model of section 2.2 of the paper:
 * :mod:`repro.core.mapping` -- the deployment mapping ``O -> S``.
 * :mod:`repro.core.cost` -- the cost model of Table 1 (``Tproc``, ``Tcomm``,
   ``Load``, ``TimePenalty``, ``Texecute``) and the weighted objective.
+* :mod:`repro.core.incremental` -- the incremental move-evaluation engine
+  (:class:`MoveEvaluator`, :class:`TableScorer`) that prices search moves
+  in time proportional to the affected region.
 * :mod:`repro.core.constraints` -- the optional user-constraint set ``C``.
 """
 
@@ -30,8 +33,9 @@ from repro.core.validation import (
     assert_well_formed,
 )
 from repro.core.probability import execution_probabilities
-from repro.core.mapping import Deployment
+from repro.core.mapping import Deployment, FrozenDeployment
 from repro.core.cost import CostModel, CostBreakdown
+from repro.core.incremental import MoveEvaluator, MoveOutcome, TableScorer
 from repro.core.constraints import (
     Constraint,
     MaxExecutionTime,
@@ -51,8 +55,12 @@ __all__ = [
     "assert_well_formed",
     "execution_probabilities",
     "Deployment",
+    "FrozenDeployment",
     "CostModel",
     "CostBreakdown",
+    "MoveEvaluator",
+    "MoveOutcome",
+    "TableScorer",
     "Constraint",
     "MaxExecutionTime",
     "MaxServerLoad",

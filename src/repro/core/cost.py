@@ -211,7 +211,11 @@ class CostModel:
     # loads and fairness
     # ------------------------------------------------------------------
     def load(self, server_name: str, deployment: Deployment) -> float:
-        """``Load(s)``: seconds *server_name* spends on its operations."""
+        """``Load(s)``: seconds *server_name* spends on its operations.
+
+        Validates the deployment, consistently with :meth:`loads`.
+        """
+        deployment.validate(self.workflow, self.network)
         server = self.network.server(server_name)
         cycles = sum(
             self.workflow.operation(op).cycles * self._node_prob[op]
@@ -223,6 +227,10 @@ class CostModel:
     def loads(self, deployment: Deployment) -> dict[str, float]:
         """``Load(s)`` for every server of the network (0 when unused)."""
         deployment.validate(self.workflow, self.network)
+        return self._loads_unchecked(deployment)
+
+    def _loads_unchecked(self, deployment: Deployment) -> dict[str, float]:
+        """:meth:`loads` without re-validating an already-checked mapping."""
         totals: dict[str, float] = {
             name: 0.0 for name in self.network.server_names
         }
@@ -236,7 +244,8 @@ class CostModel:
 
     def time_penalty(self, deployment: Deployment) -> float:
         """The fairness penalty in seconds (see :data:`PENALTY_MODES`)."""
-        return self._penalty_from_loads(self.loads(deployment))
+        deployment.validate(self.workflow, self.network)
+        return self._penalty_from_loads(self._loads_unchecked(deployment))
 
     def _penalty_from_loads(self, loads: Mapping[str, float]) -> float:
         values = list(loads.values())
@@ -269,7 +278,8 @@ class CostModel:
         For a line workflow this reduces exactly to the paper's
         ``sum(Tproc) + sum(Tcomm)``.
         """
-        finish = self.response_times(deployment)
+        deployment.validate(self.workflow, self.network)
+        finish = self._response_times_unchecked(deployment)
         return max(finish[name] for name in self.workflow.exits)
 
     def response_times(self, deployment: Deployment) -> dict[str, float]:
@@ -283,6 +293,10 @@ class CostModel:
         finish time, which is what a per-operation SLA cares about).
         """
         deployment.validate(self.workflow, self.network)
+        return self._response_times_unchecked(deployment)
+
+    def _response_times_unchecked(self, deployment: Deployment) -> dict[str, float]:
+        """:meth:`response_times` without re-validating the mapping."""
         finish: dict[str, float] = {}
         for name in self._order:
             operation = self.workflow.operation(name)
@@ -331,16 +345,27 @@ class CostModel:
         )
 
     def objective(self, deployment: Deployment) -> float:
-        """The scalar objective: weighted sum of the two metrics."""
+        """The scalar objective: weighted sum of the two metrics.
+
+        Validates the deployment exactly once, not once per metric.
+        """
+        deployment.validate(self.workflow, self.network)
+        finish = self._response_times_unchecked(deployment)
+        execution = max(finish[name] for name in self.workflow.exits)
+        penalty = self._penalty_from_loads(self._loads_unchecked(deployment))
         return (
-            self.execution_weight * self.execution_time(deployment)
-            + self.penalty_weight * self.time_penalty(deployment)
+            self.execution_weight * execution
+            + self.penalty_weight * penalty
         )
 
     def evaluate(self, deployment: Deployment) -> CostBreakdown:
-        """Full :class:`CostBreakdown` for *deployment*."""
-        loads = self.loads(deployment)
-        response_times = self.response_times(deployment)
+        """Full :class:`CostBreakdown` for *deployment*.
+
+        Validates the deployment exactly once, not once per component.
+        """
+        deployment.validate(self.workflow, self.network)
+        loads = self._loads_unchecked(deployment)
+        response_times = self._response_times_unchecked(deployment)
         execution = max(response_times[name] for name in self.workflow.exits)
         penalty = self._penalty_from_loads(loads)
         return CostBreakdown(

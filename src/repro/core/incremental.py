@@ -1,0 +1,719 @@
+"""Incremental move evaluation for deployment search.
+
+Every search algorithm in this repository explores the *move*
+neighbourhood -- relocate one operation to another server -- but the
+:class:`~repro.core.cost.CostModel` prices each candidate from scratch:
+two O(M) validation passes, a full load recompute and a complete forward
+pass over the DAG, even though a single move only perturbs the moved
+operation's region. This module provides the cheap per-candidate
+evaluation that makes search over deployment spaces tractable at scale:
+
+:class:`MoveEvaluator`
+    Attaches once to a ``(CostModel, Deployment)`` pair -- validating a
+    single time -- and answers ``propose(op, server)`` in time
+    proportional to the *affected region*: a precomputed per-``(op,
+    server)`` ``Tproc`` table, the router's per-server-pair
+    transmission-time table, O(1) running-sum load deltas (the penalty
+    statistic itself is O(N) for ``mad``/``std``-style modes because the
+    mean shifts), and a dirty-region forward pass that recomputes
+    ``finish()`` only for the moved operation's descendants.
+
+:class:`TableScorer`
+    Full-mapping scoring against the same tables, for algorithms that
+    evaluate complete candidate mappings (genetic genomes,
+    branch-and-bound leaves, the 32 000-sample quality protocol) --
+    no throwaway ``Deployment`` construction, no validation passes.
+
+Both are guarded by an exact-equivalence contract: for any reachable
+state, :attr:`MoveEvaluator.objective` and :meth:`TableScorer.objective`
+agree with :meth:`CostModel.evaluate` (the property tests assert 1e-9;
+in practice the forward pass is bit-identical because every term is
+computed from the same operands in the same order, and only the
+running-sum load totals may drift by ulps over very long move sequences
+-- bounded by a periodic resync).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.cost import CostBreakdown, CostModel
+from repro.core.mapping import Deployment
+from repro.core.workflow import NodeKind
+from repro.exceptions import DeploymentError
+
+__all__ = ["MoveEvaluator", "MoveOutcome", "TableScorer"]
+
+#: Commits between full load-table resyncs (bounds floating-point drift
+#: of the running sums; the forward pass needs no resync -- it is exact).
+DEFAULT_RESYNC_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class MoveOutcome:
+    """The evaluation of one proposed move.
+
+    Attributes
+    ----------
+    operation, server:
+        The proposed move: relocate *operation* onto *server*.
+    previous_server:
+        Where the operation currently lives.
+    objective, execution_time, time_penalty:
+        The cost the deployment would have *after* the move.
+    delta:
+        ``objective - current objective`` (negative improves).
+    """
+
+    operation: str
+    server: str
+    previous_server: str
+    objective: float
+    execution_time: float
+    time_penalty: float
+    delta: float
+
+
+class _Tables:
+    """Shared precomputation for the evaluator and the scorer."""
+
+    def __init__(self, cost_model: CostModel):
+        workflow = cost_model.workflow
+        network = cost_model.network
+        self.cost_model = cost_model
+        self.router = cost_model.router
+        self.op_names: tuple[str, ...] = workflow.operation_names
+        self.server_names: tuple[str, ...] = network.server_names
+        self.order: tuple[str, ...] = cost_model._order
+        self.exits: tuple[str, ...] = workflow.exits
+        power = {name: network.server(name).power_hz for name in self.server_names}
+        self.power = power
+        self.server_pos = {name: i for i, name in enumerate(self.server_names)}
+        # per-(op, server) Tproc table: cycles / power, precomputed once
+        self.tproc: dict[str, dict[str, float]] = {
+            op.name: {s: op.cycles / power[s] for s in self.server_names}
+            for op in workflow
+        }
+        # probability-weighted cycles per op (the Load(s) numerator terms)
+        self.wcycles: dict[str, float] = {
+            op.name: op.cycles * cost_model.node_probability(op.name)
+            for op in workflow
+        }
+        self.node_prob: dict[str, float] = {
+            name: cost_model.node_probability(name) for name in self.op_names
+        }
+        # per-op join bookkeeping, in the exact incoming order the cost
+        # model's forward pass uses (source name, message size, weight)
+        self.kind: dict[str, NodeKind] = {
+            op.name: op.kind for op in workflow
+        }
+        self.incoming: dict[str, tuple[tuple[str, float, float], ...]] = {}
+        self.outgoing: dict[str, tuple[tuple[str, float, float], ...]] = {}
+        for name in self.op_names:
+            self.incoming[name] = tuple(
+                (m.source, m.size_bits, cost_model.message_probability(m))
+                for m in workflow.incoming(name)
+            )
+            self.outgoing[name] = tuple(
+                (m.target, m.size_bits, cost_model.message_probability(m))
+                for m in workflow.outgoing(name)
+            )
+        # static per-node join weights (and their sum, for XOR joins) so
+        # the forward pass does not rebuild them per arrival
+        self.weights: dict[str, tuple[float, ...]] = {
+            name: tuple(w for _, _, w in self.incoming[name])
+            for name in self.op_names
+        }
+        self.weight_total: dict[str, float] = {
+            name: sum(self.weights[name]) for name in self.op_names
+        }
+        # dirty regions are resolved lazily (see dirty_order)
+        self._graph = workflow.graph
+        self._order_index = {name: i for i, name in enumerate(self.order)}
+        self._dirty_order: dict[str, tuple[str, ...]] = {}
+        # memoised message delays: (src_server, dst_server, size) -> s.
+        # The value is exactly Router.transmission_time's (deterministic),
+        # so the memo is bit-identical; it exists to spare the hot
+        # forward pass a function call and counter updates per arrival.
+        # Bounded by |distinct message sizes| x |server pairs|.
+        self.delay_cache: dict[tuple[str, str, float], float] = {}
+
+    def dirty_order(self, operation: str) -> tuple[str, ...]:
+        """The operation plus its descendants, in topological order.
+
+        Moving *operation* changes its own ``Tproc`` and the ``Tcomm`` of
+        every incident message; the only ``finish()`` values that can
+        change are the operation's and its descendants'.
+        """
+        cached = self._dirty_order.get(operation)
+        if cached is None:
+            region = nx.descendants(self._graph, operation) | {operation}
+            cached = tuple(
+                sorted(region, key=self._order_index.__getitem__)
+            )
+            self._dirty_order[operation] = cached
+        return cached
+
+    def ready_time(
+        self,
+        name: str,
+        arrivals: Sequence[float],
+        weights: Sequence[float],
+    ) -> float:
+        """Join semantics over incoming arrival times (cost-model order)."""
+        kind = self.kind[name]
+        if kind is NodeKind.XOR_JOIN:
+            total_weight = sum(weights)
+            if total_weight <= 0:
+                return max(arrivals)
+            return (
+                sum(w * a for w, a in zip(weights, arrivals)) / total_weight
+            )
+        if kind is NodeKind.OR_JOIN:
+            return min(arrivals)
+        return max(arrivals)
+
+    def penalty(self, load_values: Sequence[float]) -> float:
+        """The fairness statistic, mirroring ``_penalty_from_loads``."""
+        values = list(load_values)
+        if not values:
+            return 0.0
+        mean = sum(values) / len(values)
+        deviations = [abs(v - mean) for v in values]
+        mode = self.cost_model.penalty_mode
+        if mode == "mad":
+            return sum(deviations) / len(values)
+        if mode == "sum_abs":
+            return sum(deviations)
+        if mode == "max":
+            return max(deviations)
+        # std
+        return math.sqrt(sum(d * d for d in deviations) / len(values))
+
+
+class MoveEvaluator:
+    """Incremental objective evaluation over single-operation moves.
+
+    Attaches to a ``(cost_model, deployment)`` pair; the deployment is
+    validated exactly once, here. After attachment the evaluator owns
+    the move lifecycle: query candidates with :meth:`propose` (no
+    mutation), make the last proposal real with :meth:`commit` (which
+    also updates the attached :class:`~repro.core.mapping.Deployment`
+    in place), or do both with :meth:`apply`. Mutating the deployment
+    behind the evaluator's back desynchronises it -- call
+    :meth:`resync` if that cannot be avoided.
+
+    Parameters
+    ----------
+    cost_model:
+        The cost model defining the objective.
+    deployment:
+        A complete mapping; taken over (and kept in sync) by the
+        evaluator.
+    resync_interval:
+        Commits between from-scratch load-table recomputations, bounding
+        running-sum floating-point drift. ``0`` disables resyncs.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        deployment: Deployment,
+        resync_interval: int = DEFAULT_RESYNC_INTERVAL,
+    ):
+        if resync_interval < 0:
+            raise DeploymentError("resync_interval must be >= 0")
+        deployment.validate(cost_model.workflow, cost_model.network)
+        self.cost_model = cost_model
+        self.deployment = deployment
+        self.resync_interval = resync_interval
+        self._tables = _Tables(cost_model)
+        self._pending: tuple | None = None
+        self._commits_since_resync = 0
+        #: Number of :meth:`propose` evaluations answered (diagnostics).
+        self.proposals = 0
+        self.resync()
+
+    # ------------------------------------------------------------------
+    # state (re)construction
+    # ------------------------------------------------------------------
+    def resync(self) -> None:
+        """Recompute every running table from the attached deployment.
+
+        Called on attach, after external deployment mutation, and
+        periodically (every *resync_interval* commits) to squash
+        running-sum drift.
+        """
+        tables = self._tables
+        self._servers: dict[str, str] = {
+            name: self.deployment.server_of(name) for name in tables.op_names
+        }
+        # running per-server weighted-cycle sums, in cost-model load order
+        cycles = {name: 0.0 for name in tables.server_names}
+        for name in tables.op_names:
+            cycles[self._servers[name]] += tables.wcycles[name]
+        self._cycles = cycles
+        self._finish: dict[str, float] = {}
+        self._run_forward(self._finish, self._servers, tables.order)
+        self._proc_total = sum(
+            tables.node_prob[name]
+            * tables.tproc[name][self._servers[name]]
+            for name in tables.op_names
+        )
+        self._comm_total = self._full_comm_total()
+        # load values as a positional list (cost-model server order) so a
+        # proposal can patch two slots instead of rebuilding the list
+        self._loads_list = self._load_values()
+        self._refresh_scalars()
+        self._pending = None
+        self._commits_since_resync = 0
+
+    def _full_comm_total(self) -> float:
+        tables = self._tables
+        total = 0.0
+        for m in self.cost_model.workflow.messages:
+            total += self.cost_model.message_probability(m) * (
+                tables.router.transmission_time(
+                    self._servers[m.source],
+                    self._servers[m.target],
+                    m.size_bits,
+                )
+            )
+        return total
+
+    def _refresh_scalars(self) -> None:
+        tables = self._tables
+        self._execution = max(
+            self._finish[name] for name in tables.exits
+        )
+        self._penalty = tables.penalty(self._loads_list)
+        self._objective = (
+            self.cost_model.execution_weight * self._execution
+            + self.cost_model.penalty_weight * self._penalty
+        )
+
+    def _load_values(self) -> list[float]:
+        tables = self._tables
+        return [
+            self._cycles[name] / tables.power[name]
+            for name in tables.server_names
+        ]
+
+    def _run_forward(
+        self,
+        finish: dict[str, float],
+        servers: Mapping[str, str],
+        order: Sequence[str],
+        fallback: Mapping[str, float] | None = None,
+    ) -> None:
+        """The cost model's forward pass restricted to *order*.
+
+        *fallback* supplies finish times of operations outside *order*
+        (the clean region during a dirty-region recompute).
+        """
+        tables = self._tables
+        router = tables.router
+        delay_cache = tables.delay_cache
+        incoming_of = tables.incoming
+        tproc = tables.tproc
+        kind_of = tables.kind
+        xor_join = NodeKind.XOR_JOIN
+        or_join = NodeKind.OR_JOIN
+        for name in order:
+            incoming = incoming_of[name]
+            if not incoming:
+                ready = 0.0
+            else:
+                target_server = servers[name]
+                arrivals = []
+                append = arrivals.append
+                for source, size_bits, _ in incoming:
+                    upstream = finish.get(source)
+                    if upstream is None:
+                        upstream = fallback[source]  # type: ignore[index]
+                    key = (servers[source], target_server, size_bits)
+                    delay = delay_cache.get(key)
+                    if delay is None:
+                        delay = router.transmission_time(*key)
+                        delay_cache[key] = delay
+                    append(upstream + delay)
+                # join semantics inlined (see _Tables.ready_time)
+                kind = kind_of[name]
+                if kind is xor_join:
+                    total = tables.weight_total[name]
+                    if total <= 0:
+                        ready = max(arrivals)
+                    else:
+                        ready = (
+                            sum(
+                                w * a
+                                for w, a in zip(tables.weights[name], arrivals)
+                            )
+                            / total
+                        )
+                elif kind is or_join:
+                    ready = min(arrivals)
+                else:
+                    ready = max(arrivals)
+            finish[name] = ready + tproc[name][servers[name]]
+
+    # ------------------------------------------------------------------
+    # current state
+    # ------------------------------------------------------------------
+    @property
+    def objective(self) -> float:
+        """The scalar objective of the attached deployment."""
+        return self._objective
+
+    @property
+    def execution_time(self) -> float:
+        """``Texecute`` of the attached deployment."""
+        return self._execution
+
+    @property
+    def time_penalty(self) -> float:
+        """The fairness penalty of the attached deployment."""
+        return self._penalty
+
+    def response_times(self) -> dict[str, float]:
+        """Per-operation finish times (a copy of the running table)."""
+        return dict(self._finish)
+
+    def loads(self) -> dict[str, float]:
+        """Per-server load in seconds (from the running cycle sums)."""
+        tables = self._tables
+        return {
+            name: self._cycles[name] / tables.power[name]
+            for name in tables.server_names
+        }
+
+    def breakdown(self) -> CostBreakdown:
+        """A full :class:`~repro.core.cost.CostBreakdown`, incrementally.
+
+        Matches :meth:`CostModel.evaluate` on the attached deployment
+        (to within running-sum drift, see the module docstring).
+        """
+        return CostBreakdown(
+            execution_time=self._execution,
+            time_penalty=self._penalty,
+            objective=self._objective,
+            loads=self.loads(),
+            communication_time=self._comm_total,
+            processing_time=self._proc_total,
+            response_times=self.response_times(),
+        )
+
+    # ------------------------------------------------------------------
+    # the move lifecycle
+    # ------------------------------------------------------------------
+    def propose(self, operation: str, server: str) -> MoveOutcome:
+        """Price moving *operation* onto *server* without mutating.
+
+        Cost: one dirty-region forward pass (the operation and its
+        descendants) plus an O(N) penalty refresh; nothing else is
+        touched. The result is cached so an immediately following
+        :meth:`commit` is free.
+        """
+        tables = self._tables
+        source = self._servers[operation]
+        if server not in tables.power:
+            raise DeploymentError(
+                f"cannot move {operation!r}: unknown server {server!r}"
+            )
+        if server == source:
+            outcome = MoveOutcome(
+                operation, server, source,
+                self._objective, self._execution, self._penalty, 0.0,
+            )
+            self._pending = None
+            return outcome
+        self.proposals += 1
+        priced = self._price(operation, server, source)
+        objective, execution, penalty = priced[0], priced[1], priced[2]
+        outcome = MoveOutcome(
+            operation,
+            server,
+            source,
+            objective,
+            execution,
+            penalty,
+            objective - self._objective,
+        )
+        self._pending = (outcome,) + priced[3:]
+        return outcome
+
+    def propose_value(self, operation: str, server: str) -> float:
+        """Scalar objective of the move -- the scan-loop fast path.
+
+        Same float results as :meth:`propose`, but nothing is packaged
+        into a :class:`MoveOutcome` and nothing is cached for
+        :meth:`commit` (any previously pending move is dropped). Use it
+        for neighbourhood scans that only compare objectives and
+        re-:meth:`propose` the winner.
+        """
+        source = self._servers[operation]
+        if server not in self._tables.power:
+            raise DeploymentError(
+                f"cannot move {operation!r}: unknown server {server!r}"
+            )
+        self._pending = None
+        if server == source:
+            return self._objective
+        self.proposals += 1
+        return self._price(operation, server, source)[0]
+
+    def _price(self, operation: str, server: str, source: str):
+        """Dirty-region pricing core shared by propose/propose_value.
+
+        Returns ``(objective, execution, penalty, new_finish,
+        source_cycles, target_cycles, source_load, target_load)``.
+        """
+        tables = self._tables
+        # dirty-region forward pass over {operation} U descendants; the
+        # server map is patched in place for the pass (and restored)
+        # rather than wrapped -- plain dict lookups in the hot loop
+        servers_map = self._servers
+        new_finish: dict[str, float] = {}
+        servers_map[operation] = server
+        try:
+            self._run_forward(
+                new_finish,
+                servers_map,
+                tables.dirty_order(operation),
+                fallback=self._finish,
+            )
+        finally:
+            servers_map[operation] = source
+        old_finish = self._finish
+        execution = max(
+            (
+                new_finish[name]
+                if name in new_finish
+                else old_finish[name]
+            )
+            for name in tables.exits
+        )
+        # O(1) running-sum load delta on the two affected servers; the
+        # shared loads list is patched in place (and restored) so the
+        # penalty statistic reads positionally, with no per-server branch
+        weighted = tables.wcycles[operation]
+        new_source_cycles = self._cycles[source] - weighted
+        new_target_cycles = self._cycles[server] + weighted
+        source_load = new_source_cycles / tables.power[source]
+        target_load = new_target_cycles / tables.power[server]
+        loads = self._loads_list
+        i = tables.server_pos[source]
+        j = tables.server_pos[server]
+        old_i, old_j = loads[i], loads[j]
+        loads[i] = source_load
+        loads[j] = target_load
+        try:
+            penalty = tables.penalty(loads)
+        finally:
+            loads[i] = old_i
+            loads[j] = old_j
+        objective = (
+            self.cost_model.execution_weight * execution
+            + self.cost_model.penalty_weight * penalty
+        )
+        return (
+            objective,
+            execution,
+            penalty,
+            new_finish,
+            new_source_cycles,
+            new_target_cycles,
+            source_load,
+            target_load,
+        )
+
+    def commit(self) -> MoveOutcome:
+        """Make the last :meth:`propose` real.
+
+        Applies the cached dirty-region results, updates the running
+        sums and assigns the move into the attached deployment. Raises
+        when there is nothing to commit.
+        """
+        if self._pending is None:
+            raise DeploymentError(
+                "no pending move: call propose() before commit()"
+            )
+        (
+            outcome,
+            new_finish,
+            source_cycles,
+            target_cycles,
+            source_load,
+            target_load,
+        ) = self._pending
+        self._pending = None
+        operation, server = outcome.operation, outcome.server
+        self._servers[operation] = server
+        self.deployment.assign(operation, server)
+        self._finish.update(new_finish)
+        self._cycles[outcome.previous_server] = source_cycles
+        self._cycles[server] = target_cycles
+        server_pos = self._tables.server_pos
+        self._loads_list[server_pos[outcome.previous_server]] = source_load
+        self._loads_list[server_pos[server]] = target_load
+        # diagnostics totals: O(degree) message + O(1) processing deltas
+        tables = self._tables
+        old_tproc = tables.tproc[operation][outcome.previous_server]
+        new_tproc = tables.tproc[operation][server]
+        self._proc_total += tables.node_prob[operation] * (
+            new_tproc - old_tproc
+        )
+        router = tables.router
+        for src, size_bits, weight in tables.incoming[operation]:
+            src_server = self._servers[src]
+            self._comm_total += weight * (
+                router.transmission_time(src_server, server, size_bits)
+                - router.transmission_time(
+                    src_server, outcome.previous_server, size_bits
+                )
+            )
+        for dst, size_bits, weight in tables.outgoing[operation]:
+            dst_server = self._servers[dst]
+            self._comm_total += weight * (
+                router.transmission_time(server, dst_server, size_bits)
+                - router.transmission_time(
+                    outcome.previous_server, dst_server, size_bits
+                )
+            )
+        self._execution = outcome.execution_time
+        self._penalty = outcome.time_penalty
+        self._objective = outcome.objective
+        self._commits_since_resync += 1
+        if (
+            self.resync_interval
+            and self._commits_since_resync >= self.resync_interval
+        ):
+            self.resync()
+        return outcome
+
+    def apply(self, operation: str, server: str) -> MoveOutcome:
+        """:meth:`propose` + :meth:`commit` in one call.
+
+        A no-op (returned outcome has ``delta == 0``) when the operation
+        already lives on *server*.
+        """
+        outcome = self.propose(operation, server)
+        if self._pending is not None:
+            self.commit()
+        return outcome
+
+
+class TableScorer:
+    """Full-mapping objective scoring against precomputed tables.
+
+    For algorithms that price complete candidate mappings (genetic
+    genomes, branch-and-bound leaves, random samples): the same result
+    as ``cost_model.objective(Deployment(...))`` without constructing a
+    throwaway :class:`~repro.core.mapping.Deployment`, without the two
+    O(M) validation passes, and with every ``Tproc`` division and route
+    lookup amortised into shared tables.
+
+    Parameters
+    ----------
+    cost_model:
+        The cost model defining the objective.
+    operations:
+        Genome order: ``genome[i]`` is the server of ``operations[i]``.
+        Defaults to the workflow's operation order.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        operations: Sequence[str] | None = None,
+    ):
+        self.cost_model = cost_model
+        self._tables = _Tables(cost_model)
+        ops = (
+            tuple(operations)
+            if operations is not None
+            else self._tables.op_names
+        )
+        if sorted(ops) != sorted(self._tables.op_names):
+            raise DeploymentError(
+                "scorer operation order must cover exactly the workflow's "
+                "operations"
+            )
+        self.operations: tuple[str, ...] = ops
+        self._index = {name: i for i, name in enumerate(ops)}
+        #: Number of genomes scored (diagnostics).
+        self.evaluations = 0
+
+    def components(
+        self, genome: Sequence[str]
+    ) -> tuple[float, float, float]:
+        """``(execution_time, time_penalty, objective)`` of *genome*."""
+        tables = self._tables
+        self.evaluations += 1
+        index = self._index
+        router = tables.router
+        # loads, accumulated in the cost model's operation order
+        cycles = {name: 0.0 for name in tables.server_names}
+        for name in tables.op_names:
+            cycles[genome[index[name]]] += tables.wcycles[name]
+        penalty = tables.penalty(
+            [cycles[s] / tables.power[s] for s in tables.server_names]
+        )
+        # forward pass in the cost model's topological order
+        delay_cache = tables.delay_cache
+        kind_of = tables.kind
+        xor_join = NodeKind.XOR_JOIN
+        or_join = NodeKind.OR_JOIN
+        finish: dict[str, float] = {}
+        for name in tables.order:
+            incoming = tables.incoming[name]
+            server = genome[index[name]]
+            if not incoming:
+                ready = 0.0
+            else:
+                arrivals = []
+                append = arrivals.append
+                for source, size_bits, _ in incoming:
+                    key = (genome[index[source]], server, size_bits)
+                    delay = delay_cache.get(key)
+                    if delay is None:
+                        delay = router.transmission_time(*key)
+                        delay_cache[key] = delay
+                    append(finish[source] + delay)
+                # join semantics inlined (see _Tables.ready_time)
+                kind = kind_of[name]
+                if kind is xor_join:
+                    total = tables.weight_total[name]
+                    if total <= 0:
+                        ready = max(arrivals)
+                    else:
+                        ready = (
+                            sum(
+                                w * a
+                                for w, a in zip(tables.weights[name], arrivals)
+                            )
+                            / total
+                        )
+                elif kind is or_join:
+                    ready = min(arrivals)
+                else:
+                    ready = max(arrivals)
+            finish[name] = ready + tables.tproc[name][server]
+        execution = max(finish[name] for name in tables.exits)
+        objective = (
+            self.cost_model.execution_weight * execution
+            + self.cost_model.penalty_weight * penalty
+        )
+        return execution, penalty, objective
+
+    def objective(self, genome: Sequence[str]) -> float:
+        """The scalar objective of *genome* (cheapest entry point)."""
+        return self.components(genome)[2]
+
+    def score_mapping(self, mapping: Mapping[str, str]) -> float:
+        """The scalar objective of a complete ``{op: server}`` dict."""
+        return self.objective([mapping[name] for name in self.operations])

@@ -22,7 +22,54 @@ from repro.exceptions import (
 )
 from repro.network.topology import ServerNetwork
 
-__all__ = ["Deployment"]
+__all__ = ["Deployment", "FrozenDeployment"]
+
+
+class FrozenDeployment:
+    """An immutable, hashable snapshot of a :class:`Deployment`.
+
+    :class:`Deployment` is deliberately mutable (the greedy algorithms
+    assign and re-assign as they go), which makes it unusable as a dict
+    or set key: its hash would change under ``assign()`` while the
+    container still files it under the old one. Snapshots taken with
+    :meth:`Deployment.frozen` are the supported key type -- assignment
+    order does not matter, so two snapshots are equal (and hash alike)
+    exactly when they map the same operations to the same servers.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, assignments: Mapping[str, str]):
+        self._items: tuple[tuple[str, str], ...] = tuple(
+            sorted(assignments.items())
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrozenDeployment):
+            return self._items == other._items
+        if isinstance(other, Deployment):
+            return dict(self._items) == other.as_dict()
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def as_dict(self) -> dict[str, str]:
+        """A plain-dict copy of the snapshot."""
+        return dict(self._items)
+
+    def thaw(self) -> "Deployment":
+        """A new mutable :class:`Deployment` with these assignments."""
+        return Deployment(dict(self._items))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenDeployment({dict(self._items)!r})"
 
 
 class Deployment:
@@ -113,12 +160,20 @@ class Deployment:
         return iter(self._assignments.items())
 
     def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrozenDeployment):
+            return other == self
         if not isinstance(other, Deployment):
             return NotImplemented
         return self._assignments == other._assignments
 
-    def __hash__(self) -> int:
-        return hash(frozenset(self._assignments.items()))
+    # Deployments are mutable; hashing one is a latent bug (a dict/set
+    # key silently breaks after assign()), so there deliberately is no
+    # __hash__ -- take a frozen() snapshot to use as a key.
+    __hash__ = None  # type: ignore[assignment]
+
+    def frozen(self) -> FrozenDeployment:
+        """An immutable, hashable snapshot of the current assignments."""
+        return FrozenDeployment(self._assignments)
 
     def server_of(self, operation_name: str) -> str:
         """``Server(op)``: where *operation_name* is deployed (or raise)."""

@@ -9,12 +9,27 @@ for the given message size -- which can depend on the size: a large
 message may prefer a longer path of fast links over a short path with a
 slow hop.
 
-Results are memoised per ``(source, target, size)`` triple; the cache is
-invalidated by constructing a new router (networks are treated as frozen
-once routing starts).
+The delivery time of a fixed path is affine in the message size::
+
+    time(path, size) = sum(propagation) + size * sum(1/speed)
+
+so a path that simultaneously minimises both coefficients is optimal for
+*every* message size. The router detects that (very common) case on the
+first query for a server pair and caches the two coefficients per
+``(source, target)`` -- after which any message size is answered in O(1)
+without touching Dijkstra and without growing the cache. Only genuinely
+size-dependent pairs (a short slow path versus a long fast one, where
+neither dominates) fall back to a bounded per-size cache.
+
+Cache effectiveness is observable through :attr:`Router.hits` /
+:attr:`Router.misses` / :attr:`Router.hit_rate`; the cache is invalidated
+by :meth:`Router.clear_cache` or by constructing a new router (networks
+are treated as frozen once routing starts).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import networkx as nx
 
@@ -23,9 +38,27 @@ from repro.network.topology import ServerNetwork
 
 __all__ = ["Router"]
 
+#: Per-size fallback entries kept for size-*dependent* server pairs
+#: before the oldest half is evicted (bounds memory on adversarial
+#: workloads; size-independent pairs never consume these entries).
+SIZED_CACHE_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class _Route:
+    """One cached route: its path and affine time coefficients."""
+
+    path: tuple[str, ...]
+    propagation_s: float
+    transfer_s_per_bit: float
+    size_independent: bool
+
+    def time(self, size_bits: float) -> float:
+        return self.propagation_s + size_bits * self.transfer_s_per_bit
+
 
 class Router:
-    """Shortest-delivery-time routing with memoisation.
+    """Shortest-delivery-time routing with per-pair memoisation.
 
     Parameters
     ----------
@@ -33,37 +66,51 @@ class Router:
         The server network to route over. The router snapshots nothing --
         it reads the network lazily -- but assumes links do not change
         after the first query.
+
+    Attributes
+    ----------
+    hits, misses:
+        Cache counters over non-co-located :meth:`transmission_time` and
+        :meth:`path` queries: a *hit* is answered from the per-pair (or
+        per-size fallback) cache, a *miss* runs Dijkstra.
     """
 
     def __init__(self, network: ServerNetwork):
         self._network = network
-        self._path_cache: dict[tuple[str, str, float], tuple[str, ...]] = {}
-        self._time_cache: dict[tuple[str, str, float], float] = {}
+        self._route_cache: dict[tuple[str, str], _Route] = {}
+        self._sized_path_cache: dict[tuple[str, str, float], tuple[str, ...]] = {}
+        self.hits = 0
+        self.misses = 0
 
     @property
     def network(self) -> ServerNetwork:
         """The network this router operates on."""
         return self._network
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of non-co-located queries served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # path costs
+    # ------------------------------------------------------------------
     def _link_time(self, a: str, b: str, size_bits: float) -> float:
         link = self._network.link(a, b)
         return size_bits / link.speed_bps + link.propagation_s
 
-    def path(self, source: str, target: str, size_bits: float = 0.0) -> tuple[str, ...]:
-        """``Path(s, s')``: server names along the fastest route.
+    def _coefficients(self, nodes: tuple[str, ...]) -> tuple[float, float]:
+        """``(sum propagation, sum 1/speed)`` along *nodes*."""
+        propagation = 0.0
+        transfer = 0.0
+        for a, b in zip(nodes, nodes[1:]):
+            link = self._network.link(a, b)
+            propagation += link.propagation_s
+            transfer += 1.0 / link.speed_bps
+        return propagation, transfer
 
-        A message of zero size is routed by propagation delay alone (with
-        hop count as the tie-breaker via Dijkstra's behaviour). Source and
-        target equal yields the single-element path ``(source,)``.
-        """
-        self._network.server(source)
-        self._network.server(target)
-        if source == target:
-            return (source,)
-        key = (source, target, size_bits)
-        cached = self._path_cache.get(key)
-        if cached is not None:
-            return cached
+    def _dijkstra(self, source: str, target: str, size_bits: float) -> tuple[str, ...]:
         try:
             nodes = nx.dijkstra_path(
                 self._network.graph,
@@ -78,11 +125,99 @@ class Router:
             ) from None
         except nx.NodeNotFound as exc:  # pragma: no cover - guarded above
             raise UnknownServerError(str(exc)) from None
-        path = tuple(nodes)
-        self._path_cache[key] = path
+        return tuple(nodes)
+
+    def _dijkstra_by_transfer(self, source: str, target: str) -> tuple[str, ...]:
+        """Fastest route for an arbitrarily large message (1/speed weights)."""
+        try:
+            nodes = nx.dijkstra_path(
+                self._network.graph,
+                source,
+                target,
+                weight=lambda a, b, _attrs: 1.0 / self._network.link(a, b).speed_bps,
+            )
+        except nx.NetworkXNoPath:  # pragma: no cover - caught by size-0 pass
+            raise DisconnectedNetworkError(
+                f"no route from {source!r} to {target!r} in "
+                f"{self._network.name!r}"
+            ) from None
+        return tuple(nodes)
+
+    def _build_route(self, source: str, target: str) -> _Route:
+        """Classify the (source, target) pair on its first query.
+
+        Runs Dijkstra twice -- once by propagation delay (the size-0
+        optimum) and once by transfer coefficient (the size-infinity
+        optimum). When one of the two paths minimises *both* affine
+        coefficients it is optimal for every message size and the pair is
+        cached as size-independent; otherwise neither path dominates and
+        per-size queries must fall back to Dijkstra.
+        """
+        path_zero = self._dijkstra(source, target, 0.0)
+        prop_zero, transfer_zero = self._coefficients(path_zero)
+        path_large = self._dijkstra_by_transfer(source, target)
+        prop_large, transfer_large = self._coefficients(path_large)
+        if transfer_zero <= transfer_large:
+            # the min-propagation path also has the minimal transfer
+            # coefficient: it dominates every alternative at every size
+            route = _Route(path_zero, prop_zero, transfer_zero, True)
+        elif prop_large <= prop_zero:
+            # the min-transfer path is also propagation-optimal
+            route = _Route(path_large, prop_large, transfer_large, True)
+        else:
+            # genuinely size-dependent: record the size-0 optimum as the
+            # representative path but answer sized queries individually
+            route = _Route(path_zero, prop_zero, transfer_zero, False)
+        self._route_cache[(source, target)] = route
         # symmetric network: the reverse path is optimal in reverse
-        self._path_cache[(target, source, size_bits)] = path[::-1]
+        self._route_cache[(target, source)] = _Route(
+            route.path[::-1],
+            route.propagation_s,
+            route.transfer_s_per_bit,
+            route.size_independent,
+        )
+        return route
+
+    def _sized_path(self, source: str, target: str, size_bits: float) -> tuple[str, ...]:
+        """Per-size fallback for size-dependent pairs (bounded cache)."""
+        key = (source, target, size_bits)
+        cached = self._sized_path_cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        path = self._dijkstra(source, target, size_bits)
+        if len(self._sized_path_cache) >= SIZED_CACHE_LIMIT:
+            # drop the oldest half; simple and O(1) amortised
+            for stale in list(self._sized_path_cache)[: SIZED_CACHE_LIMIT // 2]:
+                del self._sized_path_cache[stale]
+        self._sized_path_cache[key] = path
+        self._sized_path_cache[(target, source, size_bits)] = path[::-1]
         return path
+
+    # ------------------------------------------------------------------
+    # public queries
+    # ------------------------------------------------------------------
+    def path(self, source: str, target: str, size_bits: float = 0.0) -> tuple[str, ...]:
+        """``Path(s, s')``: server names along the fastest route.
+
+        A message of zero size is routed by propagation delay alone (with
+        hop count as the tie-breaker via Dijkstra's behaviour). Source and
+        target equal yields the single-element path ``(source,)``.
+        """
+        self._network.server(source)
+        self._network.server(target)
+        if source == target:
+            return (source,)
+        route = self._route_cache.get((source, target))
+        if route is None:
+            self.misses += 1
+            route = self._build_route(source, target)
+        elif route.size_independent:
+            self.hits += 1
+        if route.size_independent:
+            return route.path
+        return self._sized_path(source, target, size_bits)
 
     def transmission_time(
         self, source: str, target: str, size_bits: float
@@ -91,26 +226,58 @@ class Router:
 
         Zero when source and target coincide (co-located operations talk
         through local memory, the paper's key lever for saving cost).
+        Size-independent pairs are answered from the cached affine
+        coefficients in O(1) regardless of how many distinct message
+        sizes are queried.
         """
         if source == target:
             return 0.0
-        key = (source, target, size_bits)
-        cached = self._time_cache.get(key)
-        if cached is not None:
-            return cached
-        route = self.path(source, target, size_bits)
-        total = sum(
-            self._link_time(a, b, size_bits) for a, b in zip(route, route[1:])
-        )
-        self._time_cache[key] = total
-        self._time_cache[(target, source, size_bits)] = total
-        return total
+        route = self._route_cache.get((source, target))
+        if route is None:
+            self._network.server(source)
+            self._network.server(target)
+            self.misses += 1
+            route = self._build_route(source, target)
+        elif route.size_independent:
+            self.hits += 1
+        if route.size_independent:
+            return route.time(size_bits)
+        path = self._sized_path(source, target, size_bits)
+        propagation, transfer = self._coefficients(path)
+        return propagation + size_bits * transfer
+
+    def pair_coefficients(
+        self, source: str, target: str
+    ) -> tuple[float, float] | None:
+        """``(propagation_s, transfer_s_per_bit)`` for a size-independent pair.
+
+        The per-server-pair transmission-time table entry shared with the
+        incremental move evaluator: ``time = a + b * size`` for every
+        message size. Returns ``None`` for size-dependent pairs (the
+        caller must fall back to :meth:`transmission_time`). Co-located
+        pairs are ``(0.0, 0.0)``.
+        """
+        if source == target:
+            return (0.0, 0.0)
+        route = self._route_cache.get((source, target))
+        if route is None:
+            self._network.server(source)
+            self._network.server(target)
+            self.misses += 1
+            route = self._build_route(source, target)
+        if route.size_independent:
+            return (route.propagation_s, route.transfer_s_per_bit)
+        return None
 
     def hop_count(self, source: str, target: str, size_bits: float = 0.0) -> int:
         """Number of links on the chosen route (0 when co-located)."""
         return len(self.path(source, target, size_bits)) - 1
 
+    def cache_size(self) -> int:
+        """Number of cached route entries (pairs plus sized fallbacks)."""
+        return len(self._route_cache) + len(self._sized_path_cache)
+
     def clear_cache(self) -> None:
-        """Drop memoised paths and times (call after mutating the network)."""
-        self._path_cache.clear()
-        self._time_cache.clear()
+        """Drop memoised routes (call after mutating the network)."""
+        self._route_cache.clear()
+        self._sized_path_cache.clear()

@@ -35,6 +35,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.algorithms.base import get_algorithm
 from repro.core.cost import PENALTY_MODES
+from repro.core.incremental import MoveEvaluator
 from repro.exceptions import ServiceError
 from repro.network.topology import ServerNetwork
 from repro.service.events import (
@@ -392,13 +393,23 @@ class FleetController:
         the loop stops early when no candidate improves. Returns the
         moves ``(tenant, operation, source, target)`` plus the objective
         before and after -- the churn-vs-gain numbers the log reports.
+
+        Per-tenant execution times are priced through one
+        :class:`~repro.core.incremental.MoveEvaluator` per tenant: a
+        candidate destination costs a dirty-region forward pass instead
+        of the full ``execution_time`` pass the drift rebalancer used to
+        pay per candidate.
         """
         state = self.state
         network = state.network
-        exec_times = {
-            tenant: state.cost_model(tenant).execution_time(
-                state.tenant(tenant).deployment
+        evaluators = {
+            tenant: MoveEvaluator(
+                state.cost_model(tenant), state.tenant(tenant).deployment
             )
+            for tenant in state.tenants
+        }
+        exec_times = {
+            tenant: evaluators[tenant].execution_time
             for tenant in state.tenants
         }
         loads = state.combined_loads()
@@ -433,9 +444,9 @@ class FleetController:
                 for target in destinations:
                     if target == source:
                         continue
-                    record.deployment.assign(operation, target)
-                    tenant_exec = model.execution_time(record.deployment)
-                    record.deployment.assign(operation, source)
+                    tenant_exec = evaluators[tenant].propose(
+                        operation, target
+                    ).execution_time
                     trial_loads = dict(loads)
                     trial_loads[source] -= (
                         weighted / network.server(source).power_hz
@@ -461,7 +472,8 @@ class FleetController:
             if best is None:
                 break
             value, tenant, operation, source, target, tenant_exec, loads = best
-            state.tenant(tenant).deployment.assign(operation, target)
+            # apply() assigns into the tenant's live deployment too
+            evaluators[tenant].apply(operation, target)
             exec_times[tenant] = tenant_exec
             current = value
             moves.append((tenant, operation, source, target))

@@ -46,34 +46,16 @@ __all__ = [
 
 
 class InstrumentedRouter(Router):
-    """A :class:`~repro.network.routing.Router` that counts cache hits.
+    """A :class:`~repro.network.routing.Router` exposing cache counters.
 
     The fleet shares one router across every tenant's cost model, so the
     hit rate directly measures how much cross-tenant reuse the shared
-    cache buys -- one of the headline fleet metrics.
+    cache buys -- one of the headline fleet metrics. The base router now
+    keys its cache per server *pair* (not per ``(pair, size)`` triple)
+    and counts hits/misses itself, so this subclass only survives as the
+    fleet-facing name; heterogeneous message sizes between the same pair
+    of servers are cache hits instead of guaranteed misses.
     """
-
-    def __init__(self, network: ServerNetwork):
-        super().__init__(network)
-        self.hits = 0
-        self.misses = 0
-
-    def transmission_time(
-        self, source: str, target: str, size_bits: float
-    ) -> float:
-        """Memoised ``Ttrans``; co-located queries bypass the cache."""
-        if source != target:
-            if (source, target, size_bits) in self._time_cache:
-                self.hits += 1
-            else:
-                self.misses += 1
-        return super().transmission_time(source, target, size_bits)
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of non-co-located queries served from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
 
 
 @dataclass(frozen=True)

@@ -5,7 +5,7 @@ import pytest
 from repro.algorithms.branch_and_bound import BranchAndBound
 from repro.algorithms.exhaustive import Exhaustive
 from repro.core.cost import CostModel
-from repro.exceptions import SearchSpaceTooLargeError
+from repro.exceptions import AlgorithmError, SearchSpaceTooLargeError
 from repro.workloads.generator import (
     GraphStructure,
     line_workflow,
@@ -15,8 +15,12 @@ from repro.workloads.generator import (
 
 
 def test_invalid_node_limit_rejected():
-    with pytest.raises(SearchSpaceTooLargeError):
+    # a bad argument is an AlgorithmError, not a search outcome -- callers
+    # catching SearchSpaceTooLargeError to fall back to a heuristic must
+    # not swallow a programming error
+    with pytest.raises(AlgorithmError) as excinfo:
         BranchAndBound(node_limit=0)
+    assert not isinstance(excinfo.value, SearchSpaceTooLargeError)
 
 
 @pytest.mark.parametrize("seed", range(5))

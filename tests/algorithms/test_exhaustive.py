@@ -8,7 +8,7 @@ from repro.algorithms.exhaustive import Exhaustive
 from repro.core.cost import CostModel
 from repro.core.mapping import Deployment
 from repro.core.workflow import Operation, Workflow
-from repro.exceptions import SearchSpaceTooLargeError
+from repro.exceptions import AlgorithmError, SearchSpaceTooLargeError
 from repro.network.topology import bus_network
 
 
@@ -72,8 +72,12 @@ def test_limit_guard(tiny):
 
 
 def test_invalid_limit_rejected():
-    with pytest.raises(SearchSpaceTooLargeError):
+    # a bad argument is an AlgorithmError, not a search outcome -- callers
+    # catching SearchSpaceTooLargeError to fall back to a heuristic must
+    # not swallow a programming error
+    with pytest.raises(AlgorithmError) as excinfo:
         Exhaustive(limit=0)
+    assert not isinstance(excinfo.value, SearchSpaceTooLargeError)
 
 
 def test_pareto_front_is_nondominated(tiny):

@@ -117,9 +117,28 @@ class TestComparison:
         d1 = Deployment({"A": "S1", "B": "S2"})
         d2 = Deployment({"B": "S2", "A": "S1"})
         assert d1 == d2
-        assert hash(d1) == hash(d2)
         assert d1 != Deployment({"A": "S2", "B": "S2"})
         assert d1 != "not a deployment"
+        # mutable deployments are deliberately unhashable: a mapping that
+        # changes under assign() must never silently corrupt a set/dict
+        with pytest.raises(TypeError):
+            hash(d1)
+        assert hash(d1.frozen()) == hash(d2.frozen())
+
+    def test_frozen_snapshot(self):
+        d1 = Deployment({"A": "S1", "B": "S2"})
+        snapshot = d1.frozen()
+        assert snapshot == d1
+        assert dict(snapshot) == {"A": "S1", "B": "S2"}
+        assert snapshot.as_dict() == d1.as_dict()
+        assert len(snapshot) == 2
+        # the snapshot is decoupled from later mutation
+        d1.assign("A", "S2")
+        assert snapshot != d1
+        assert snapshot.thaw() == Deployment({"A": "S1", "B": "S2"})
+        # frozen snapshots are usable as dict keys / set members
+        seen = {snapshot: 1, d1.frozen(): 2}
+        assert len(seen) == 2
 
     def test_copy_is_independent(self):
         d1 = Deployment({"A": "S1"})

@@ -99,22 +99,46 @@ class TestCaching:
     def test_repeated_queries_hit_cache(self, bus3):
         router = Router(bus3)
         first = router.transmission_time("S1", "S2", 8_000)
+        assert (router.hits, router.misses) == (0, 1)
         second = router.transmission_time("S1", "S2", 8_000)
         assert first == second
-        assert len(router._time_cache) > 0
+        assert (router.hits, router.misses) == (1, 1)
+        assert router.cache_size() > 0
+
+    def test_distinct_sizes_hit_the_route_cache(self, bus3):
+        # the route is size-independent, so heterogeneous message sizes
+        # must reuse the cached pair instead of growing a float-keyed cache
+        router = Router(bus3)
+        for size in (1_000, 2_000, 3_000, 4_000, 5_000):
+            router.transmission_time("S1", "S2", size)
+        assert router.misses == 1
+        assert router.hits == 4
+        assert router.hit_rate == pytest.approx(0.8)
 
     def test_clear_cache(self, bus3):
         router = Router(bus3)
         router.transmission_time("S1", "S2", 8_000)
         router.clear_cache()
-        assert len(router._time_cache) == 0
-        assert len(router._path_cache) == 0
+        assert router.cache_size() == 0
+        assert len(router._route_cache) == 0
+        assert len(router._sized_path_cache) == 0
 
-    def test_cache_is_size_keyed(self, chain3):
+    def test_times_scale_with_size(self, chain3):
         router = Router(chain3)
         t_small = router.transmission_time("S1", "S3", 1_000)
         t_large = router.transmission_time("S1", "S3", 100_000)
         assert t_large > t_small
+
+    def test_pair_coefficients_match_times(self, chain3):
+        router = Router(chain3)
+        coefficients = router.pair_coefficients("S1", "S3")
+        assert coefficients is not None
+        propagation, per_bit = coefficients
+        for size in (0, 1_000, 100_000):
+            expected = propagation + size * per_bit
+            assert router.transmission_time("S1", "S3", size) == pytest.approx(
+                expected
+            )
 
 
 def test_bus_pairs_share_cost(bus3):
