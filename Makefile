@@ -14,10 +14,11 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# tiny-parameter smoke run of the move-evaluation bench (used by CI):
-# exercises both pricing code paths without asserting the speedup floor
+# tiny-parameter smoke run of the move-evaluation and core-perf benches
+# (used by CI): exercises both pricing code paths and the
+# compiled-vs-legacy parity check without asserting the perf floors
 bench-smoke:
-	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py --benchmark-disable -q
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py benchmarks/bench_core_perf.py --benchmark-disable -q
 
 figures:
 	$(PYTHON) -m repro figures --output benchmarks/output

@@ -19,8 +19,10 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.core.compiled import CompiledInstance
 from repro.core.cost import CostModel
 from repro.core.mapping import Deployment
+from repro.core.rng import coerce_rng
 from repro.core.workflow import Workflow
 from repro.exceptions import AlgorithmError
 from repro.network.topology import ServerNetwork
@@ -78,6 +80,11 @@ class ProblemContext:
         Execution probability per operation name.
     msg_weights:
         Unconditional send probability per ``(source, target)`` pair.
+    compiled:
+        The cost model's :class:`~repro.core.compiled.CompiledInstance`
+        -- the integer-indexed problem IR shared by every consumer, so
+        algorithm inner loops can price candidates without name-dict
+        lookups.
     """
 
     workflow: Workflow
@@ -86,6 +93,7 @@ class ProblemContext:
     rng: random.Random
     op_weights: Mapping[str, float] = field(default_factory=dict)
     msg_weights: Mapping[tuple[str, str], float] = field(default_factory=dict)
+    compiled: CompiledInstance | None = None
 
     def weighted_cycles(self, operation_name: str) -> float:
         """``C(op)`` scaled by the operation's execution probability."""
@@ -162,7 +170,9 @@ class DeploymentAlgorithm(ABC):
         rng:
             Seed or ``random.Random`` used for the random initial mapping
             required by the tie-resolver family and for any stochastic
-            tie-breaks. Defaults to a deterministic ``Random(0)``.
+            tie-breaks. ``None`` explicitly means the library-wide
+            deterministic default, ``Random(0)`` -- see
+            :func:`repro.core.rng.coerce_rng`.
         """
         if len(workflow) == 0:
             raise AlgorithmError("workflow has no operations")
@@ -171,10 +181,7 @@ class DeploymentAlgorithm(ABC):
         network.require_connected()
         if cost_model is None:
             cost_model = CostModel(workflow, network)
-        if rng is None:
-            rng = random.Random(0)
-        elif isinstance(rng, int):
-            rng = random.Random(rng)
+        rng = coerce_rng(rng)
 
         if self.uses_probability_weights and cost_model.use_probabilities:
             op_weights = {
@@ -196,6 +203,7 @@ class DeploymentAlgorithm(ABC):
             rng=rng,
             op_weights=op_weights,
             msg_weights=msg_weights,
+            compiled=cost_model.compiled,
         )
         deployment = self._deploy(context)
         deployment.validate(workflow, network)

@@ -12,11 +12,17 @@ This package implements the formal model of section 2.2 of the paper:
 * :mod:`repro.core.probability` -- execution-probability propagation used by
   the random-graph algorithms (section 3.4).
 * :mod:`repro.core.mapping` -- the deployment mapping ``O -> S``.
+* :mod:`repro.core.compiled` -- the compiled problem IR
+  (:class:`CompiledInstance`): one integer-indexed artifact per
+  ``(workflow, network, cost parameters)`` triple, shared by the cost
+  model, the move evaluators, the simulation engine and the fleet.
 * :mod:`repro.core.cost` -- the cost model of Table 1 (``Tproc``, ``Tcomm``,
   ``Load``, ``TimePenalty``, ``Texecute``) and the weighted objective.
 * :mod:`repro.core.incremental` -- the incremental move-evaluation engine
   (:class:`MoveEvaluator`, :class:`TableScorer`) that prices search moves
   in time proportional to the affected region.
+* :mod:`repro.core.rng` -- the shared seed-coercion helper
+  (:func:`coerce_rng`) behind every stochastic entry point.
 * :mod:`repro.core.constraints` -- the optional user-constraint set ``C``.
 """
 
@@ -34,7 +40,9 @@ from repro.core.validation import (
 )
 from repro.core.probability import execution_probabilities
 from repro.core.mapping import Deployment, FrozenDeployment
+from repro.core.compiled import CompiledInstance, penalty_statistic
 from repro.core.cost import CostModel, CostBreakdown
+from repro.core.rng import coerce_rng
 from repro.core.incremental import MoveEvaluator, MoveOutcome, TableScorer
 from repro.core.constraints import (
     Constraint,
@@ -56,8 +64,11 @@ __all__ = [
     "execution_probabilities",
     "Deployment",
     "FrozenDeployment",
+    "CompiledInstance",
+    "penalty_statistic",
     "CostModel",
     "CostBreakdown",
+    "coerce_rng",
     "MoveEvaluator",
     "MoveOutcome",
     "TableScorer",

@@ -1,0 +1,548 @@
+"""The compiled problem IR: one integer-indexed artifact per instance.
+
+The paper's evaluation prices the same ``(workflow, network)`` pair
+millions of times -- per candidate move of a local search, per genome of
+the genetic algorithm, per leaf of branch-and-bound, per sample of the
+32 000-draw quality protocol, per tenant of the fleet. Before this
+module, each layer re-derived its own view of that pair: the cost model
+kept name-keyed dicts, the incremental move evaluator built private
+``Tproc``/delay tables, the router grew per-pair affine caches and the
+fleet cached yet another copy per tenant.
+
+:class:`CompiledInstance` compiles a ``(Workflow, ServerNetwork, cost
+parameters)`` triple **once** into immutable integer-indexed arrays --
+operation/server index maps, the topological order, message endpoint
+index pairs with their probability weights, XOR join weights, the
+per-``(op, server)`` ``Tproc`` table, per-``(server, server)`` affine
+route-delay coefficients and the capacity-proportional ideal-load
+vector -- and every consumer borrows the same artifact:
+
+* :class:`~repro.core.cost.CostModel` is a thin façade whose
+  ``evaluate``/``objective``/``loads``/``response_times`` run an
+  array-index forward pass over the compiled form;
+* :class:`~repro.core.incremental.MoveEvaluator` and
+  :class:`~repro.core.incremental.TableScorer` keep only their running
+  state and dirty-region logic;
+* :class:`~repro.simulation.engine.SimulationEngine` reads processing
+  durations and message delays from the same tables;
+* :class:`~repro.service.state.FleetState` holds one artifact per
+  tenant.
+
+Every array entry is computed from exactly the operands (in exactly the
+order) the pre-compilation object path used, so compiled evaluation is
+bit-identical to the historical name-dict path -- the parity property
+tests pin this at 1e-9 and seeded searches return byte-identical
+deployments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.probability import execution_probabilities
+from repro.core.validation import check_well_formed
+from repro.core.workflow import NodeKind, Workflow
+from repro.exceptions import DeploymentError, UnknownServerError
+from repro.network.routing import Router
+from repro.network.topology import ServerNetwork
+
+__all__ = [
+    "CompiledInstance",
+    "PENALTY_MODES",
+    "penalty_statistic",
+    "JOIN_MAX",
+    "JOIN_MIN",
+    "JOIN_XOR",
+]
+
+#: Supported fairness statistics for the ``TimePenalty`` term:
+#: ``"mad"`` -- mean absolute deviation from the average load;
+#: ``"sum_abs"`` -- total absolute deviation;
+#: ``"max"`` -- worst single-server deviation;
+#: ``"std"`` -- population standard deviation of the loads.
+PENALTY_MODES = ("mad", "sum_abs", "max", "std")
+
+#: Join-semantics codes of the forward pass, one per operation:
+#: plain nodes and ``AND`` joins wait for every arrival (max).
+JOIN_MAX = 0
+#: ``OR`` joins complete with the first arrival (min).
+JOIN_MIN = 1
+#: ``XOR`` joins take the probability-weighted average of arrivals.
+JOIN_XOR = 2
+
+
+def penalty_statistic(values: Sequence[float], mode: str) -> float:
+    """The fairness statistic over per-server load *values*.
+
+    The single implementation behind ``CostModel.time_penalty``, the
+    move evaluator's penalty refresh and the fleet-level
+    ``load_penalty`` -- see :data:`PENALTY_MODES` for the supported
+    *mode* strings (an unknown mode falls through to ``"std"``, which
+    matches the historical behaviour of every former copy).
+    """
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    deviations = [abs(v - mean) for v in values]
+    if mode == "mad":
+        return sum(deviations) / len(values)
+    if mode == "sum_abs":
+        return sum(deviations)
+    if mode == "max":
+        return max(deviations)
+    # std
+    return math.sqrt(sum(d * d for d in deviations) / len(values))
+
+
+class CompiledInstance:
+    """A frozen, integer-indexed compilation of one problem instance.
+
+    Compile once, evaluate everywhere: all problem data needed to price
+    a deployment lives in flat tuples indexed by small integers, and the
+    only per-evaluation input is a server vector ``servers[op_index] ->
+    server_index``. The artifact is immutable after construction (the
+    route table and region caches fill lazily but never change value);
+    mutate the workflow or network and you must recompile.
+
+    Parameters
+    ----------
+    workflow, network:
+        The problem instance. The workflow must be a DAG; the network
+        must be connected.
+    execution_weight, penalty_weight:
+        Coefficients of the scalar objective (both >= 0).
+    penalty_mode:
+        Fairness statistic; one of :data:`PENALTY_MODES`.
+    use_probabilities:
+        Weight costs by execution probabilities (section 3.4). ``None``
+        (default) auto-enables this exactly when the workflow contains
+        an ``XOR`` split.
+    router:
+        Optional pre-built :class:`~repro.network.routing.Router` whose
+        per-pair affine coefficients seed the route-delay table; built
+        fresh when omitted.
+
+    Attributes
+    ----------
+    op_names, op_index:
+        Operation names in insertion order and the name -> index map.
+    server_names, server_index:
+        Server names in network order and the name -> index map.
+    order:
+        Topological order of the workflow as operation indices.
+    exits:
+        Indices of exit operations.
+    node_prob, cycles, wcycles:
+        Per-operation execution probability, raw cycles and
+        probability-weighted cycles.
+    tproc:
+        ``tproc[op][server] = cycles[op] / power[server]`` in seconds.
+    power, ideal_cycles, total_power_hz, total_weighted_cycles:
+        Per-server capacity, the capacity-proportional cycle budget
+        ``Ideal_Cycles(s)`` and the fleet-wide totals they derive from.
+    incoming, outgoing:
+        Per-operation message endpoints as ``(peer_index, size_bits,
+        weight)`` triples in the workflow's adjacency order, where
+        *weight* is the unconditional send probability.
+    messages:
+        All messages in insertion order as ``(source_index,
+        target_index, size_bits, weight)``.
+    join_code, xor_weights, xor_weight_total:
+        Join semantics code (:data:`JOIN_MAX`/:data:`JOIN_MIN`/
+        :data:`JOIN_XOR`) plus the static XOR join weights.
+    routes:
+        The lazily-filled per-``(server, server)`` affine route-delay
+        table: ``(propagation_s, transfer_s_per_bit)``, ``None`` when
+        not yet resolved, ``()`` for the rare genuinely size-dependent
+        pairs (answered by the router per size). Read through
+        :meth:`delay` unless you replicate its fallback.
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        network: ServerNetwork,
+        execution_weight: float = 0.5,
+        penalty_weight: float = 0.5,
+        penalty_mode: str = "mad",
+        use_probabilities: bool | None = None,
+        router: Router | None = None,
+    ):
+        if penalty_mode not in PENALTY_MODES:
+            raise DeploymentError(
+                f"unknown penalty mode {penalty_mode!r}; expected one of "
+                f"{PENALTY_MODES}"
+            )
+        if execution_weight < 0 or penalty_weight < 0:
+            raise DeploymentError("objective weights must be >= 0")
+        network.require_connected()
+        if not workflow.is_dag():
+            raise DeploymentError(
+                f"workflow {workflow.name!r} contains a cycle; the cost "
+                f"model requires a DAG"
+            )
+        self.workflow = workflow
+        self.network = network
+        self.execution_weight = execution_weight
+        self.penalty_weight = penalty_weight
+        self.penalty_mode = penalty_mode
+        self.router = router or Router(network)
+
+        has_xor = any(op.kind is NodeKind.XOR_SPLIT for op in workflow)
+        self.use_probabilities = (
+            has_xor if use_probabilities is None else use_probabilities
+        )
+        if self.use_probabilities:
+            workflow.validate_xor_probabilities()
+            prob_by_name = execution_probabilities(workflow)
+        else:
+            prob_by_name = {name: 1.0 for name in workflow.operation_names}
+
+        # ---- index maps --------------------------------------------------
+        self.op_names: tuple[str, ...] = workflow.operation_names
+        self.op_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.op_names)
+        }
+        self.num_ops = len(self.op_names)
+        self.server_names: tuple[str, ...] = network.server_names
+        self.server_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.server_names)
+        }
+        self.num_servers = len(self.server_names)
+
+        # ---- per-operation arrays ---------------------------------------
+        op_index = self.op_index
+        self.order: tuple[int, ...] = tuple(
+            op_index[name] for name in workflow.topological_order()
+        )
+        self.exits: tuple[int, ...] = tuple(
+            op_index[name] for name in workflow.exits
+        )
+        self.node_prob: tuple[float, ...] = tuple(
+            prob_by_name[name] for name in self.op_names
+        )
+        operations = workflow.operations
+        self.cycles: tuple[float, ...] = tuple(
+            op.cycles for op in operations
+        )
+        self.wcycles: tuple[float, ...] = tuple(
+            op.cycles * prob_by_name[op.name] for op in operations
+        )
+        self.kinds: tuple[NodeKind, ...] = tuple(
+            op.kind for op in operations
+        )
+        self.join_code: tuple[int, ...] = tuple(
+            JOIN_XOR
+            if kind is NodeKind.XOR_JOIN
+            else (JOIN_MIN if kind is NodeKind.OR_JOIN else JOIN_MAX)
+            for kind in self.kinds
+        )
+
+        # ---- per-server arrays ------------------------------------------
+        self.power: tuple[float, ...] = tuple(
+            network.server(name).power_hz for name in self.server_names
+        )
+        self.total_power_hz: float = network.total_power_hz
+        # Tproc(op, s) = C(op) / P(s), the exact division the name-dict
+        # path performed per query
+        self.tproc: tuple[tuple[float, ...], ...] = tuple(
+            tuple(op.cycles / p for p in self.power) for op in operations
+        )
+        self.total_weighted_cycles: float = sum(
+            op.cycles * prob_by_name[op.name] for op in operations
+        )
+        self.ideal_cycles: tuple[float, ...] = tuple(
+            self.total_weighted_cycles * p / self.total_power_hz
+            for p in self.power
+        )
+
+        # ---- message endpoint arrays ------------------------------------
+        incoming: list[tuple[tuple[int, float, float], ...]] = []
+        outgoing: list[tuple[tuple[int, float, float], ...]] = []
+        for name in self.op_names:
+            incoming.append(
+                tuple(
+                    (
+                        op_index[m.source],
+                        m.size_bits,
+                        prob_by_name[m.source] * m.probability,
+                    )
+                    for m in workflow.incoming(name)
+                )
+            )
+            outgoing.append(
+                tuple(
+                    (
+                        op_index[m.target],
+                        m.size_bits,
+                        prob_by_name[m.source] * m.probability,
+                    )
+                    for m in workflow.outgoing(name)
+                )
+            )
+        self.incoming: tuple[tuple[tuple[int, float, float], ...], ...] = (
+            tuple(incoming)
+        )
+        self.outgoing: tuple[tuple[tuple[int, float, float], ...], ...] = (
+            tuple(outgoing)
+        )
+        self.messages: tuple[tuple[int, int, float, float], ...] = tuple(
+            (
+                op_index[m.source],
+                op_index[m.target],
+                m.size_bits,
+                prob_by_name[m.source] * m.probability,
+            )
+            for m in workflow.messages
+        )
+        # static XOR join weights (and their sums) in arrival order
+        self.xor_weights: tuple[tuple[float, ...], ...] = tuple(
+            tuple(w for _, _, w in entries) for entries in self.incoming
+        )
+        self.xor_weight_total: tuple[float, ...] = tuple(
+            sum(weights) for weights in self.xor_weights
+        )
+
+        # ---- route-delay table (lazily resolved through the router) -----
+        self.routes: list[list[tuple[float, float] | None]] = [
+            [None] * self.num_servers for _ in range(self.num_servers)
+        ]
+        for i in range(self.num_servers):
+            self.routes[i][i] = (0.0, 0.0)  # co-located: free, any size
+
+        # ---- lazily-filled caches ---------------------------------------
+        self._graph = workflow.graph
+        topo_pos = [0] * self.num_ops
+        for pos, op in enumerate(self.order):
+            topo_pos[op] = pos
+        self._topo_pos: list[int] = topo_pos
+        self._dirty: dict[int, tuple[int, ...]] = {}
+        self._scopes: dict[int, tuple[int, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    # index resolution
+    # ------------------------------------------------------------------
+    def server_index_of(self, server_name: str) -> int:
+        """The index of *server_name*, raising ``UnknownServerError``."""
+        try:
+            return self.server_index[server_name]
+        except KeyError:
+            raise UnknownServerError(
+                f"no server {server_name!r} in network {self.network.name!r}"
+            ) from None
+
+    def server_vector(self, deployment) -> list[int]:
+        """``servers[op_index] -> server_index`` for a complete mapping.
+
+        The one per-evaluation translation from the name-keyed
+        :class:`~repro.core.mapping.Deployment` into the compiled index
+        space. The deployment must already be validated (the cost-model
+        entry points do so exactly once).
+        """
+        server_index = self.server_index
+        server_of = deployment.server_of
+        return [server_index[server_of(name)] for name in self.op_names]
+
+    # ------------------------------------------------------------------
+    # route delays
+    # ------------------------------------------------------------------
+    def _resolve_route(self, source: int, target: int) -> tuple:
+        """Fill one route-table slot from the router's classification."""
+        coeff = self.router.pair_coefficients(
+            self.server_names[source], self.server_names[target]
+        )
+        if coeff is None:
+            coeff = ()  # size-dependent pair: router answers per size
+        self.routes[source][target] = coeff
+        return coeff
+
+    def delay(self, source: int, target: int, size_bits: float) -> float:
+        """``Tcomm`` of one message between two server indices.
+
+        Size-independent pairs (the overwhelmingly common case) are an
+        affine evaluation of the cached ``(propagation, transfer)``
+        coefficients -- exactly the value
+        :meth:`~repro.network.routing.Router.transmission_time` returns,
+        from the same operands. Genuinely size-dependent pairs fall back
+        to the router per query.
+        """
+        coeff = self.routes[source][target]
+        if coeff is None:
+            coeff = self._resolve_route(source, target)
+        if coeff:
+            return coeff[0] + size_bits * coeff[1]
+        return self.router.transmission_time(
+            self.server_names[source], self.server_names[target], size_bits
+        )
+
+    # ------------------------------------------------------------------
+    # the forward pass and its aggregates
+    # ------------------------------------------------------------------
+    def forward_pass(self, servers: Sequence[int]) -> list[float]:
+        """(Expected) finish time of every operation, indexed by op.
+
+        The cost model's expected-time forward pass over the DAG in
+        topological order: ``ready(n)`` aggregates arrivals
+        ``finish(pred) + Tcomm`` (max for ``AND``/plain, min for ``OR``
+        joins, probability-weighted average for ``XOR`` joins) and
+        ``finish(n) = ready(n) + Tproc(n)``.
+        """
+        finish = [0.0] * self.num_ops
+        incoming_all = self.incoming
+        tproc = self.tproc
+        join = self.join_code
+        weights_all = self.xor_weights
+        weight_total = self.xor_weight_total
+        routes = self.routes
+        delay = self.delay
+        for op in self.order:
+            incoming = incoming_all[op]
+            if not incoming:
+                ready = 0.0
+            else:
+                dst = servers[op]
+                arrivals = []
+                append = arrivals.append
+                for src, size_bits, _w in incoming:
+                    coeff = routes[servers[src]][dst]
+                    if coeff:
+                        d = coeff[0] + size_bits * coeff[1]
+                    else:
+                        d = delay(servers[src], dst, size_bits)
+                    append(finish[src] + d)
+                code = join[op]
+                if code == JOIN_XOR:
+                    total = weight_total[op]
+                    if total <= 0:
+                        ready = max(arrivals)
+                    else:
+                        ready = (
+                            sum(
+                                w * a
+                                for w, a in zip(weights_all[op], arrivals)
+                            )
+                            / total
+                        )
+                elif code == JOIN_MIN:
+                    ready = min(arrivals)
+                else:
+                    ready = max(arrivals)
+            finish[op] = ready + tproc[op][servers[op]]
+        return finish
+
+    def execution_from(self, finish: Sequence[float]) -> float:
+        """``Texecute``: the latest finish among exit operations."""
+        return max(finish[op] for op in self.exits)
+
+    def load_values(self, servers: Sequence[int]) -> list[float]:
+        """``Load(s)`` per server index, in seconds.
+
+        Weighted-cycle sums accumulate in operation insertion order --
+        the same floating-point order as the historical name-dict loop.
+        """
+        totals = [0.0] * self.num_servers
+        wcycles = self.wcycles
+        for op in range(self.num_ops):
+            totals[servers[op]] += wcycles[op]
+        power = self.power
+        return [totals[j] / power[j] for j in range(self.num_servers)]
+
+    def penalty(self, load_values: Sequence[float]) -> float:
+        """The compiled-in fairness statistic over *load_values*."""
+        return penalty_statistic(load_values, self.penalty_mode)
+
+    def objective_value(self, execution: float, penalty: float) -> float:
+        """The scalar objective from its two components."""
+        return (
+            self.execution_weight * execution + self.penalty_weight * penalty
+        )
+
+    def components(
+        self, servers: Sequence[int]
+    ) -> tuple[float, float, float]:
+        """``(execution_time, time_penalty, objective)`` of one vector."""
+        penalty = self.penalty(self.load_values(servers))
+        execution = self.execution_from(self.forward_pass(servers))
+        return execution, penalty, self.objective_value(execution, penalty)
+
+    def communication_time(self, servers: Sequence[int]) -> float:
+        """Probability-weighted ``Tcomm`` summed over all messages."""
+        total = 0.0
+        delay = self.delay
+        for src, dst, size_bits, weight in self.messages:
+            total += weight * delay(servers[src], servers[dst], size_bits)
+        return total
+
+    def processing_time(self, servers: Sequence[int]) -> float:
+        """Probability-weighted ``Tproc`` summed over all operations."""
+        total = 0.0
+        node_prob = self.node_prob
+        tproc = self.tproc
+        for op in range(self.num_ops):
+            total += node_prob[op] * tproc[op][servers[op]]
+        return total
+
+    # ------------------------------------------------------------------
+    # graph regions
+    # ------------------------------------------------------------------
+    def dirty_order(self, op: int) -> tuple[int, ...]:
+        """The operation plus its descendants, in topological order.
+
+        Moving an operation changes its own ``Tproc`` and the ``Tcomm``
+        of every incident message; the only ``finish()`` values that can
+        change are the operation's and its descendants'. Memoised on the
+        artifact, so every move evaluator over this instance shares one
+        region table.
+        """
+        cached = self._dirty.get(op)
+        if cached is None:
+            name = self.op_names[op]
+            region = nx.descendants(self._graph, name) | {name}
+            topo_pos = self._topo_pos
+            cached = tuple(
+                sorted(
+                    (self.op_index[n] for n in region),
+                    key=topo_pos.__getitem__,
+                )
+            )
+            self._dirty[op] = cached
+        return cached
+
+    def decision_scopes(self) -> Mapping[int, tuple[int, ...]]:
+        """Per-split region membership: split index -> member indices.
+
+        For every well-formed decision region the scope is the split,
+        its matching join and everything between them, in topological
+        order -- the node set whose costs an ``XOR`` probability
+        re-estimate or a region-local rebalance must touch. Computed
+        lazily from the well-formedness checker's split/join matching;
+        workflows that are not well-formed yield the regions that did
+        match (possibly none).
+        """
+        if self._scopes is None:
+            report = check_well_formed(self.workflow)
+            topo_pos = self._topo_pos
+            scopes: dict[int, tuple[int, ...]] = {}
+            for split, join in report.matches.items():
+                members = (
+                    nx.descendants(self._graph, split)
+                    & nx.ancestors(self._graph, join)
+                ) | {split, join}
+                scopes[self.op_index[split]] = tuple(
+                    sorted(
+                        (self.op_index[n] for n in members),
+                        key=topo_pos.__getitem__,
+                    )
+                )
+            self._scopes = scopes
+        return self._scopes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledInstance({self.workflow.name!r} x "
+            f"{self.network.name!r}, ops={self.num_ops}, "
+            f"servers={self.num_servers})"
+        )

@@ -29,29 +29,32 @@ default, sums them with equal weights:
 The model also exposes ``Ideal_Cycles(s) = Sum_Cycles * P(s)/Sum_Capacity``,
 the capacity-proportional cycle budget that every greedy algorithm in the
 paper starts from.
+
+Since the compiled-IR refactor :class:`CostModel` is a thin façade over
+:class:`~repro.core.compiled.CompiledInstance`: construction compiles the
+``(workflow, network, parameters)`` triple once into integer-indexed
+arrays, and ``evaluate``/``objective``/``loads``/``response_times`` run an
+array-index forward pass over the compiled form -- bit-identical to the
+historical name-dict path, but sharing one precomputation with the move
+evaluators, the simulation engine and the fleet.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.core.compiled import (
+    PENALTY_MODES,
+    CompiledInstance,
+    penalty_statistic,
+)
 from repro.core.mapping import Deployment
-from repro.core.probability import execution_probabilities
-from repro.core.workflow import Message, NodeKind, Workflow
-from repro.exceptions import DeploymentError
+from repro.core.workflow import Message, Workflow
 from repro.network.routing import Router
 from repro.network.topology import ServerNetwork
 
 __all__ = ["CostModel", "CostBreakdown", "PENALTY_MODES"]
-
-#: Supported fairness statistics for :attr:`CostModel.penalty_mode`:
-#: ``"mad"`` -- mean absolute deviation from the average load;
-#: ``"sum_abs"`` -- total absolute deviation;
-#: ``"max"`` -- worst single-server deviation;
-#: ``"std"`` -- population standard deviation of the loads.
-PENALTY_MODES = ("mad", "sum_abs", "max", "std")
 
 
 @dataclass(frozen=True)
@@ -133,53 +136,61 @@ class CostModel:
         use_probabilities: bool | None = None,
         router: Router | None = None,
     ):
-        if penalty_mode not in PENALTY_MODES:
-            raise DeploymentError(
-                f"unknown penalty mode {penalty_mode!r}; expected one of "
-                f"{PENALTY_MODES}"
+        self._init_from_compiled(
+            CompiledInstance(
+                workflow,
+                network,
+                execution_weight=execution_weight,
+                penalty_weight=penalty_weight,
+                penalty_mode=penalty_mode,
+                use_probabilities=use_probabilities,
+                router=router,
             )
-        if execution_weight < 0 or penalty_weight < 0:
-            raise DeploymentError("objective weights must be >= 0")
-        network.require_connected()
-        if not workflow.is_dag():
-            raise DeploymentError(
-                f"workflow {workflow.name!r} contains a cycle; the cost "
-                f"model requires a DAG"
-            )
-        self.workflow = workflow
-        self.network = network
-        self.execution_weight = execution_weight
-        self.penalty_weight = penalty_weight
-        self.penalty_mode = penalty_mode
-        self.router = router or Router(network)
-
-        has_xor = any(op.kind is NodeKind.XOR_SPLIT for op in workflow)
-        self.use_probabilities = (
-            has_xor if use_probabilities is None else use_probabilities
         )
-        if self.use_probabilities:
-            workflow.validate_xor_probabilities()
-            self._node_prob = execution_probabilities(workflow)
-        else:
-            self._node_prob = {name: 1.0 for name in workflow.operation_names}
-        self._order = workflow.topological_order()
+
+    @classmethod
+    def from_compiled(cls, compiled: CompiledInstance) -> "CostModel":
+        """A façade over an existing compiled artifact, no recompilation.
+
+        The returned model shares *compiled* (and its router and route
+        tables) with every other consumer of the artifact -- this is how
+        the fleet, the move evaluators and the simulation engine avoid
+        rebuilding per-layer caches.
+        """
+        model = cls.__new__(cls)
+        model._init_from_compiled(compiled)
+        return model
+
+    def _init_from_compiled(self, compiled: CompiledInstance) -> None:
+        self.compiled = compiled
+        self.workflow = compiled.workflow
+        self.network = compiled.network
+        self.execution_weight = compiled.execution_weight
+        self.penalty_weight = compiled.penalty_weight
+        self.penalty_mode = compiled.penalty_mode
+        self.router = compiled.router
+        self.use_probabilities = compiled.use_probabilities
 
     # ------------------------------------------------------------------
     # Table 1 primitives
     # ------------------------------------------------------------------
     def node_probability(self, operation_name: str) -> float:
         """Execution probability of an operation (1 without XOR)."""
-        return self._node_prob[operation_name]
+        compiled = self.compiled
+        return compiled.node_prob[compiled.op_index[operation_name]]
 
     def message_probability(self, message: Message) -> float:
         """Unconditional probability that *message* is sent."""
-        return self._node_prob[message.source] * message.probability
+        return self.node_probability(message.source) * message.probability
 
     def tproc(self, operation_name: str, deployment: Deployment) -> float:
         """``Tproc(op) = C(op) / P(Server(op))`` in seconds (unweighted)."""
+        compiled = self.compiled
         operation = self.workflow.operation(operation_name)
-        server = self.network.server(deployment.server_of(operation_name))
-        return operation.cycles / server.power_hz
+        server = deployment.server_of(operation_name)
+        return compiled.tproc[compiled.op_index[operation.name]][
+            compiled.server_index_of(server)
+        ]
 
     def tcomm(self, message: Message, deployment: Deployment) -> float:
         """``Tcomm`` of one message in seconds (unweighted).
@@ -197,15 +208,12 @@ class CostModel:
         algorithm. Probability-weighted cycles are used for graph
         workflows so that rarely executed branches count less.
         """
-        server = self.network.server(server_name)
-        total = self.total_weighted_cycles()
-        return total * server.power_hz / self.network.total_power_hz
+        compiled = self.compiled
+        return compiled.ideal_cycles[compiled.server_index_of(server_name)]
 
     def total_weighted_cycles(self) -> float:
         """``Sum_Cycles``, probability-weighted when applicable."""
-        return sum(
-            op.cycles * self._node_prob[op.name] for op in self.workflow
-        )
+        return self.compiled.total_weighted_cycles
 
     # ------------------------------------------------------------------
     # loads and fairness
@@ -216,13 +224,16 @@ class CostModel:
         Validates the deployment, consistently with :meth:`loads`.
         """
         deployment.validate(self.workflow, self.network)
-        server = self.network.server(server_name)
+        compiled = self.compiled
+        server = compiled.server_index_of(server_name)
+        op_index = compiled.op_index
+        wcycles = compiled.wcycles
         cycles = sum(
-            self.workflow.operation(op).cycles * self._node_prob[op]
+            wcycles[op_index[op]]
             for op in deployment.operations_on(server_name)
             if op in self.workflow
         )
-        return cycles / server.power_hz
+        return cycles / compiled.power[server]
 
     def loads(self, deployment: Deployment) -> dict[str, float]:
         """``Load(s)`` for every server of the network (0 when unused)."""
@@ -231,36 +242,26 @@ class CostModel:
 
     def _loads_unchecked(self, deployment: Deployment) -> dict[str, float]:
         """:meth:`loads` without re-validating an already-checked mapping."""
-        totals: dict[str, float] = {
-            name: 0.0 for name in self.network.server_names
-        }
-        for operation in self.workflow:
-            server = deployment.server_of(operation.name)
-            totals[server] += operation.cycles * self._node_prob[operation.name]
-        return {
-            name: cycles / self.network.server(name).power_hz
-            for name, cycles in totals.items()
-        }
+        compiled = self.compiled
+        values = compiled.load_values(compiled.server_vector(deployment))
+        return dict(zip(compiled.server_names, values))
 
     def time_penalty(self, deployment: Deployment) -> float:
         """The fairness penalty in seconds (see :data:`PENALTY_MODES`)."""
         deployment.validate(self.workflow, self.network)
-        return self._penalty_from_loads(self._loads_unchecked(deployment))
+        compiled = self.compiled
+        return compiled.penalty(
+            compiled.load_values(compiled.server_vector(deployment))
+        )
 
     def _penalty_from_loads(self, loads: Mapping[str, float]) -> float:
-        values = list(loads.values())
-        if not values:
-            return 0.0
-        mean = sum(values) / len(values)
-        deviations = [abs(v - mean) for v in values]
-        if self.penalty_mode == "mad":
-            return sum(deviations) / len(values)
-        if self.penalty_mode == "sum_abs":
-            return sum(deviations)
-        if self.penalty_mode == "max":
-            return max(deviations)
-        # std
-        return math.sqrt(sum(d * d for d in deviations) / len(values))
+        """The fairness statistic over an existing per-server load map.
+
+        Kept as the named hook the branch-and-bound lower bound uses to
+        price partial load vectors; delegates to
+        :func:`repro.core.compiled.penalty_statistic`.
+        """
+        return penalty_statistic(list(loads.values()), self.penalty_mode)
 
     # ------------------------------------------------------------------
     # execution time
@@ -279,8 +280,10 @@ class CostModel:
         ``sum(Tproc) + sum(Tcomm)``.
         """
         deployment.validate(self.workflow, self.network)
-        finish = self._response_times_unchecked(deployment)
-        return max(finish[name] for name in self.workflow.exits)
+        compiled = self.compiled
+        return compiled.execution_from(
+            compiled.forward_pass(compiled.server_vector(deployment))
+        )
 
     def response_times(self, deployment: Deployment) -> dict[str, float]:
         """(Expected) completion time of every individual operation.
@@ -295,54 +298,28 @@ class CostModel:
         deployment.validate(self.workflow, self.network)
         return self._response_times_unchecked(deployment)
 
-    def _response_times_unchecked(self, deployment: Deployment) -> dict[str, float]:
+    def _response_times_unchecked(
+        self, deployment: Deployment
+    ) -> dict[str, float]:
         """:meth:`response_times` without re-validating the mapping."""
-        finish: dict[str, float] = {}
-        for name in self._order:
-            operation = self.workflow.operation(name)
-            incoming = self.workflow.incoming(name)
-            if not incoming:
-                ready = 0.0
-            else:
-                arrivals = [
-                    finish[m.source] + self.tcomm(m, deployment)
-                    for m in incoming
-                ]
-                if operation.kind is NodeKind.XOR_JOIN:
-                    weights = [
-                        self.message_probability(m) for m in incoming
-                    ]
-                    total_weight = sum(weights)
-                    if total_weight <= 0:
-                        ready = max(arrivals)
-                    else:
-                        ready = (
-                            sum(w * a for w, a in zip(weights, arrivals))
-                            / total_weight
-                        )
-                elif operation.kind is NodeKind.OR_JOIN:
-                    ready = min(arrivals)
-                else:
-                    ready = max(arrivals)
-            finish[name] = ready + self.tproc(name, deployment)
-        return finish
+        compiled = self.compiled
+        finish = compiled.forward_pass(compiled.server_vector(deployment))
+        order = compiled.order
+        op_names = compiled.op_names
+        return {op_names[op]: finish[op] for op in order}
 
     # ------------------------------------------------------------------
     # aggregate diagnostics and the objective
     # ------------------------------------------------------------------
     def total_communication_time(self, deployment: Deployment) -> float:
         """Probability-weighted sum of ``Tcomm`` over all messages."""
-        return sum(
-            self.message_probability(m) * self.tcomm(m, deployment)
-            for m in self.workflow.messages
-        )
+        compiled = self.compiled
+        return compiled.communication_time(compiled.server_vector(deployment))
 
     def total_processing_time(self, deployment: Deployment) -> float:
         """Probability-weighted sum of ``Tproc`` over all operations."""
-        return sum(
-            self._node_prob[op.name] * self.tproc(op.name, deployment)
-            for op in self.workflow
-        )
+        compiled = self.compiled
+        return compiled.processing_time(compiled.server_vector(deployment))
 
     def objective(self, deployment: Deployment) -> float:
         """The scalar objective: weighted sum of the two metrics.
@@ -350,13 +327,11 @@ class CostModel:
         Validates the deployment exactly once, not once per metric.
         """
         deployment.validate(self.workflow, self.network)
-        finish = self._response_times_unchecked(deployment)
-        execution = max(finish[name] for name in self.workflow.exits)
-        penalty = self._penalty_from_loads(self._loads_unchecked(deployment))
-        return (
-            self.execution_weight * execution
-            + self.penalty_weight * penalty
-        )
+        compiled = self.compiled
+        servers = compiled.server_vector(deployment)
+        execution = compiled.execution_from(compiled.forward_pass(servers))
+        penalty = compiled.penalty(compiled.load_values(servers))
+        return compiled.objective_value(execution, penalty)
 
     def evaluate(self, deployment: Deployment) -> CostBreakdown:
         """Full :class:`CostBreakdown` for *deployment*.
@@ -364,19 +339,21 @@ class CostModel:
         Validates the deployment exactly once, not once per component.
         """
         deployment.validate(self.workflow, self.network)
-        loads = self._loads_unchecked(deployment)
-        response_times = self._response_times_unchecked(deployment)
-        execution = max(response_times[name] for name in self.workflow.exits)
-        penalty = self._penalty_from_loads(loads)
+        compiled = self.compiled
+        servers = compiled.server_vector(deployment)
+        load_values = compiled.load_values(servers)
+        finish = compiled.forward_pass(servers)
+        execution = compiled.execution_from(finish)
+        penalty = compiled.penalty(load_values)
+        op_names = compiled.op_names
         return CostBreakdown(
             execution_time=execution,
             time_penalty=penalty,
-            objective=(
-                self.execution_weight * execution
-                + self.penalty_weight * penalty
-            ),
-            loads=loads,
-            communication_time=self.total_communication_time(deployment),
-            processing_time=self.total_processing_time(deployment),
-            response_times=response_times,
+            objective=compiled.objective_value(execution, penalty),
+            loads=dict(zip(compiled.server_names, load_values)),
+            communication_time=compiled.communication_time(servers),
+            processing_time=compiled.processing_time(servers),
+            response_times={
+                op_names[op]: finish[op] for op in compiled.order
+            },
         )

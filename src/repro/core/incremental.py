@@ -11,18 +11,25 @@ evaluation that makes search over deployment spaces tractable at scale:
 :class:`MoveEvaluator`
     Attaches once to a ``(CostModel, Deployment)`` pair -- validating a
     single time -- and answers ``propose(op, server)`` in time
-    proportional to the *affected region*: a precomputed per-``(op,
-    server)`` ``Tproc`` table, the router's per-server-pair
-    transmission-time table, O(1) running-sum load deltas (the penalty
-    statistic itself is O(N) for ``mad``/``std``-style modes because the
-    mean shifts), and a dirty-region forward pass that recomputes
-    ``finish()`` only for the moved operation's descendants.
+    proportional to the *affected region*: the compiled per-``(op,
+    server)`` ``Tproc`` table, the per-server-pair affine route-delay
+    coefficients, O(1) running-sum load deltas (the penalty statistic
+    itself is O(N) for ``mad``/``std``-style modes because the mean
+    shifts), and a dirty-region forward pass that recomputes ``finish()``
+    only for the moved operation's descendants.
 
 :class:`TableScorer`
     Full-mapping scoring against the same tables, for algorithms that
     evaluate complete candidate mappings (genetic genomes,
     branch-and-bound leaves, the 32 000-sample quality protocol) --
     no throwaway ``Deployment`` construction, no validation passes.
+
+Both borrow the cost model's
+:class:`~repro.core.compiled.CompiledInstance` instead of building
+private tables: one compilation of the problem instance serves the cost
+model, every evaluator and scorer attached to it, the simulation engine
+and the fleet. Dirty-region orders are memoised *on the artifact*, so
+concurrent searches over the same instance share them too.
 
 Both are guarded by an exact-equivalence contract: for any reachable
 state, :attr:`MoveEvaluator.objective` and :meth:`TableScorer.objective`
@@ -35,15 +42,11 @@ running-sum load totals may drift by ulps over very long move sequences
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-import networkx as nx
-
 from repro.core.cost import CostBreakdown, CostModel
 from repro.core.mapping import Deployment
-from repro.core.workflow import NodeKind
 from repro.exceptions import DeploymentError
 
 __all__ = ["MoveEvaluator", "MoveOutcome", "TableScorer"]
@@ -78,123 +81,6 @@ class MoveOutcome:
     delta: float
 
 
-class _Tables:
-    """Shared precomputation for the evaluator and the scorer."""
-
-    def __init__(self, cost_model: CostModel):
-        workflow = cost_model.workflow
-        network = cost_model.network
-        self.cost_model = cost_model
-        self.router = cost_model.router
-        self.op_names: tuple[str, ...] = workflow.operation_names
-        self.server_names: tuple[str, ...] = network.server_names
-        self.order: tuple[str, ...] = cost_model._order
-        self.exits: tuple[str, ...] = workflow.exits
-        power = {name: network.server(name).power_hz for name in self.server_names}
-        self.power = power
-        self.server_pos = {name: i for i, name in enumerate(self.server_names)}
-        # per-(op, server) Tproc table: cycles / power, precomputed once
-        self.tproc: dict[str, dict[str, float]] = {
-            op.name: {s: op.cycles / power[s] for s in self.server_names}
-            for op in workflow
-        }
-        # probability-weighted cycles per op (the Load(s) numerator terms)
-        self.wcycles: dict[str, float] = {
-            op.name: op.cycles * cost_model.node_probability(op.name)
-            for op in workflow
-        }
-        self.node_prob: dict[str, float] = {
-            name: cost_model.node_probability(name) for name in self.op_names
-        }
-        # per-op join bookkeeping, in the exact incoming order the cost
-        # model's forward pass uses (source name, message size, weight)
-        self.kind: dict[str, NodeKind] = {
-            op.name: op.kind for op in workflow
-        }
-        self.incoming: dict[str, tuple[tuple[str, float, float], ...]] = {}
-        self.outgoing: dict[str, tuple[tuple[str, float, float], ...]] = {}
-        for name in self.op_names:
-            self.incoming[name] = tuple(
-                (m.source, m.size_bits, cost_model.message_probability(m))
-                for m in workflow.incoming(name)
-            )
-            self.outgoing[name] = tuple(
-                (m.target, m.size_bits, cost_model.message_probability(m))
-                for m in workflow.outgoing(name)
-            )
-        # static per-node join weights (and their sum, for XOR joins) so
-        # the forward pass does not rebuild them per arrival
-        self.weights: dict[str, tuple[float, ...]] = {
-            name: tuple(w for _, _, w in self.incoming[name])
-            for name in self.op_names
-        }
-        self.weight_total: dict[str, float] = {
-            name: sum(self.weights[name]) for name in self.op_names
-        }
-        # dirty regions are resolved lazily (see dirty_order)
-        self._graph = workflow.graph
-        self._order_index = {name: i for i, name in enumerate(self.order)}
-        self._dirty_order: dict[str, tuple[str, ...]] = {}
-        # memoised message delays: (src_server, dst_server, size) -> s.
-        # The value is exactly Router.transmission_time's (deterministic),
-        # so the memo is bit-identical; it exists to spare the hot
-        # forward pass a function call and counter updates per arrival.
-        # Bounded by |distinct message sizes| x |server pairs|.
-        self.delay_cache: dict[tuple[str, str, float], float] = {}
-
-    def dirty_order(self, operation: str) -> tuple[str, ...]:
-        """The operation plus its descendants, in topological order.
-
-        Moving *operation* changes its own ``Tproc`` and the ``Tcomm`` of
-        every incident message; the only ``finish()`` values that can
-        change are the operation's and its descendants'.
-        """
-        cached = self._dirty_order.get(operation)
-        if cached is None:
-            region = nx.descendants(self._graph, operation) | {operation}
-            cached = tuple(
-                sorted(region, key=self._order_index.__getitem__)
-            )
-            self._dirty_order[operation] = cached
-        return cached
-
-    def ready_time(
-        self,
-        name: str,
-        arrivals: Sequence[float],
-        weights: Sequence[float],
-    ) -> float:
-        """Join semantics over incoming arrival times (cost-model order)."""
-        kind = self.kind[name]
-        if kind is NodeKind.XOR_JOIN:
-            total_weight = sum(weights)
-            if total_weight <= 0:
-                return max(arrivals)
-            return (
-                sum(w * a for w, a in zip(weights, arrivals)) / total_weight
-            )
-        if kind is NodeKind.OR_JOIN:
-            return min(arrivals)
-        return max(arrivals)
-
-    def penalty(self, load_values: Sequence[float]) -> float:
-        """The fairness statistic, mirroring ``_penalty_from_loads``."""
-        values = list(load_values)
-        if not values:
-            return 0.0
-        mean = sum(values) / len(values)
-        deviations = [abs(v - mean) for v in values]
-        mode = self.cost_model.penalty_mode
-        if mode == "mad":
-            return sum(deviations) / len(values)
-        if mode == "sum_abs":
-            return sum(deviations)
-        if mode == "max":
-            return max(deviations)
-        # std
-        return math.sqrt(sum(d * d for d in deviations) / len(values))
-
-
 class MoveEvaluator:
     """Incremental objective evaluation over single-operation moves.
 
@@ -206,6 +92,11 @@ class MoveEvaluator:
     in place), or do both with :meth:`apply`. Mutating the deployment
     behind the evaluator's back desynchronises it -- call
     :meth:`resync` if that cannot be avoided.
+
+    All static problem data -- index maps, ``Tproc``, route-delay
+    coefficients, join weights, dirty regions -- comes from the cost
+    model's shared :class:`~repro.core.compiled.CompiledInstance`; the
+    evaluator itself holds only the running state of its deployment.
 
     Parameters
     ----------
@@ -229,9 +120,9 @@ class MoveEvaluator:
             raise DeploymentError("resync_interval must be >= 0")
         deployment.validate(cost_model.workflow, cost_model.network)
         self.cost_model = cost_model
+        self.compiled = cost_model.compiled
         self.deployment = deployment
         self.resync_interval = resync_interval
-        self._tables = _Tables(cost_model)
         self._pending: tuple | None = None
         self._commits_since_resync = 0
         #: Number of :meth:`propose` evaluations answered (diagnostics).
@@ -248,118 +139,34 @@ class MoveEvaluator:
         periodically (every *resync_interval* commits) to squash
         running-sum drift.
         """
-        tables = self._tables
-        self._servers: dict[str, str] = {
-            name: self.deployment.server_of(name) for name in tables.op_names
-        }
+        compiled = self.compiled
+        self._servers: list[int] = compiled.server_vector(self.deployment)
         # running per-server weighted-cycle sums, in cost-model load order
-        cycles = {name: 0.0 for name in tables.server_names}
-        for name in tables.op_names:
-            cycles[self._servers[name]] += tables.wcycles[name]
+        cycles = [0.0] * compiled.num_servers
+        wcycles = compiled.wcycles
+        for op in range(compiled.num_ops):
+            cycles[self._servers[op]] += wcycles[op]
         self._cycles = cycles
-        self._finish: dict[str, float] = {}
-        self._run_forward(self._finish, self._servers, tables.order)
-        self._proc_total = sum(
-            tables.node_prob[name]
-            * tables.tproc[name][self._servers[name]]
-            for name in tables.op_names
-        )
-        self._comm_total = self._full_comm_total()
+        self._finish: list[float] = compiled.forward_pass(self._servers)
+        self._proc_total = compiled.processing_time(self._servers)
+        self._comm_total = compiled.communication_time(self._servers)
         # load values as a positional list (cost-model server order) so a
         # proposal can patch two slots instead of rebuilding the list
-        self._loads_list = self._load_values()
+        power = compiled.power
+        self._loads_list = [
+            cycles[j] / power[j] for j in range(compiled.num_servers)
+        ]
         self._refresh_scalars()
         self._pending = None
         self._commits_since_resync = 0
 
-    def _full_comm_total(self) -> float:
-        tables = self._tables
-        total = 0.0
-        for m in self.cost_model.workflow.messages:
-            total += self.cost_model.message_probability(m) * (
-                tables.router.transmission_time(
-                    self._servers[m.source],
-                    self._servers[m.target],
-                    m.size_bits,
-                )
-            )
-        return total
-
     def _refresh_scalars(self) -> None:
-        tables = self._tables
-        self._execution = max(
-            self._finish[name] for name in tables.exits
+        compiled = self.compiled
+        self._execution = compiled.execution_from(self._finish)
+        self._penalty = compiled.penalty(self._loads_list)
+        self._objective = compiled.objective_value(
+            self._execution, self._penalty
         )
-        self._penalty = tables.penalty(self._loads_list)
-        self._objective = (
-            self.cost_model.execution_weight * self._execution
-            + self.cost_model.penalty_weight * self._penalty
-        )
-
-    def _load_values(self) -> list[float]:
-        tables = self._tables
-        return [
-            self._cycles[name] / tables.power[name]
-            for name in tables.server_names
-        ]
-
-    def _run_forward(
-        self,
-        finish: dict[str, float],
-        servers: Mapping[str, str],
-        order: Sequence[str],
-        fallback: Mapping[str, float] | None = None,
-    ) -> None:
-        """The cost model's forward pass restricted to *order*.
-
-        *fallback* supplies finish times of operations outside *order*
-        (the clean region during a dirty-region recompute).
-        """
-        tables = self._tables
-        router = tables.router
-        delay_cache = tables.delay_cache
-        incoming_of = tables.incoming
-        tproc = tables.tproc
-        kind_of = tables.kind
-        xor_join = NodeKind.XOR_JOIN
-        or_join = NodeKind.OR_JOIN
-        for name in order:
-            incoming = incoming_of[name]
-            if not incoming:
-                ready = 0.0
-            else:
-                target_server = servers[name]
-                arrivals = []
-                append = arrivals.append
-                for source, size_bits, _ in incoming:
-                    upstream = finish.get(source)
-                    if upstream is None:
-                        upstream = fallback[source]  # type: ignore[index]
-                    key = (servers[source], target_server, size_bits)
-                    delay = delay_cache.get(key)
-                    if delay is None:
-                        delay = router.transmission_time(*key)
-                        delay_cache[key] = delay
-                    append(upstream + delay)
-                # join semantics inlined (see _Tables.ready_time)
-                kind = kind_of[name]
-                if kind is xor_join:
-                    total = tables.weight_total[name]
-                    if total <= 0:
-                        ready = max(arrivals)
-                    else:
-                        ready = (
-                            sum(
-                                w * a
-                                for w, a in zip(tables.weights[name], arrivals)
-                            )
-                            / total
-                        )
-                elif kind is or_join:
-                    ready = min(arrivals)
-                else:
-                    ready = max(arrivals)
-            finish[name] = ready + tproc[name][servers[name]]
 
     # ------------------------------------------------------------------
     # current state
@@ -381,14 +188,16 @@ class MoveEvaluator:
 
     def response_times(self) -> dict[str, float]:
         """Per-operation finish times (a copy of the running table)."""
-        return dict(self._finish)
+        compiled = self.compiled
+        finish = self._finish
+        return {compiled.op_names[op]: finish[op] for op in compiled.order}
 
     def loads(self) -> dict[str, float]:
         """Per-server load in seconds (from the running cycle sums)."""
-        tables = self._tables
+        compiled = self.compiled
         return {
-            name: self._cycles[name] / tables.power[name]
-            for name in tables.server_names
+            compiled.server_names[j]: self._cycles[j] / compiled.power[j]
+            for j in range(compiled.num_servers)
         }
 
     def breakdown(self) -> CostBreakdown:
@@ -418,32 +227,34 @@ class MoveEvaluator:
         touched. The result is cached so an immediately following
         :meth:`commit` is free.
         """
-        tables = self._tables
-        source = self._servers[operation]
-        if server not in tables.power:
+        compiled = self.compiled
+        op = compiled.op_index[operation]
+        target = compiled.server_index.get(server)
+        if target is None:
             raise DeploymentError(
                 f"cannot move {operation!r}: unknown server {server!r}"
             )
-        if server == source:
+        source = self._servers[op]
+        if target == source:
             outcome = MoveOutcome(
-                operation, server, source,
+                operation, server, server,
                 self._objective, self._execution, self._penalty, 0.0,
             )
             self._pending = None
             return outcome
         self.proposals += 1
-        priced = self._price(operation, server, source)
+        priced = self._price(op, target, source)
         objective, execution, penalty = priced[0], priced[1], priced[2]
         outcome = MoveOutcome(
             operation,
             server,
-            source,
+            compiled.server_names[source],
             objective,
             execution,
             penalty,
             objective - self._objective,
         )
-        self._pending = (outcome,) + priced[3:]
+        self._pending = (outcome, op, target, source) + priced[3:]
         return outcome
 
     def propose_value(self, operation: str, server: str) -> float:
@@ -455,71 +266,110 @@ class MoveEvaluator:
         for neighbourhood scans that only compare objectives and
         re-:meth:`propose` the winner.
         """
-        source = self._servers[operation]
-        if server not in self._tables.power:
+        compiled = self.compiled
+        op = compiled.op_index[operation]
+        target = compiled.server_index.get(server)
+        if target is None:
             raise DeploymentError(
                 f"cannot move {operation!r}: unknown server {server!r}"
             )
         self._pending = None
-        if server == source:
+        source = self._servers[op]
+        if target == source:
             return self._objective
         self.proposals += 1
-        return self._price(operation, server, source)[0]
+        return self._price(op, target, source)[0]
 
-    def _price(self, operation: str, server: str, source: str):
+    def _price(self, op: int, target: int, source: int):
         """Dirty-region pricing core shared by propose/propose_value.
 
         Returns ``(objective, execution, penalty, new_finish,
-        source_cycles, target_cycles, source_load, target_load)``.
+        source_cycles, target_cycles, source_load, target_load)`` where
+        *new_finish* maps dirty op indices to their new finish times.
         """
-        tables = self._tables
-        # dirty-region forward pass over {operation} U descendants; the
-        # server map is patched in place for the pass (and restored)
-        # rather than wrapped -- plain dict lookups in the hot loop
-        servers_map = self._servers
-        new_finish: dict[str, float] = {}
-        servers_map[operation] = server
-        try:
-            self._run_forward(
-                new_finish,
-                servers_map,
-                tables.dirty_order(operation),
-                fallback=self._finish,
-            )
-        finally:
-            servers_map[operation] = source
+        compiled = self.compiled
+        # dirty-region forward pass over {op} U descendants; the server
+        # vector is patched in place for the pass (and restored) rather
+        # than copied -- plain list indexing in the hot loop
+        servers = self._servers
         old_finish = self._finish
+        new_finish: dict[int, float] = {}
+        servers[op] = target
+        try:
+            incoming_all = compiled.incoming
+            tproc = compiled.tproc
+            join = compiled.join_code
+            weights_all = compiled.xor_weights
+            weight_total = compiled.xor_weight_total
+            routes = compiled.routes
+            delay = compiled.delay
+            get = new_finish.get
+            for node in compiled.dirty_order(op):
+                incoming = incoming_all[node]
+                if not incoming:
+                    ready = 0.0
+                else:
+                    dst = servers[node]
+                    arrivals = []
+                    append = arrivals.append
+                    for src, size_bits, _w in incoming:
+                        upstream = get(src)
+                        if upstream is None:
+                            upstream = old_finish[src]
+                        coeff = routes[servers[src]][dst]
+                        if coeff:
+                            d = coeff[0] + size_bits * coeff[1]
+                        else:
+                            d = delay(servers[src], dst, size_bits)
+                        append(upstream + d)
+                    code = join[node]
+                    if code == 2:  # JOIN_XOR
+                        total = weight_total[node]
+                        if total <= 0:
+                            ready = max(arrivals)
+                        else:
+                            ready = (
+                                sum(
+                                    w * a
+                                    for w, a in zip(
+                                        weights_all[node], arrivals
+                                    )
+                                )
+                                / total
+                            )
+                    elif code == 1:  # JOIN_MIN
+                        ready = min(arrivals)
+                    else:
+                        ready = max(arrivals)
+                new_finish[node] = ready + tproc[node][servers[node]]
+        finally:
+            servers[op] = source
         execution = max(
             (
-                new_finish[name]
-                if name in new_finish
-                else old_finish[name]
+                new_finish[node]
+                if node in new_finish
+                else old_finish[node]
             )
-            for name in tables.exits
+            for node in compiled.exits
         )
         # O(1) running-sum load delta on the two affected servers; the
         # shared loads list is patched in place (and restored) so the
         # penalty statistic reads positionally, with no per-server branch
-        weighted = tables.wcycles[operation]
+        weighted = compiled.wcycles[op]
         new_source_cycles = self._cycles[source] - weighted
-        new_target_cycles = self._cycles[server] + weighted
-        source_load = new_source_cycles / tables.power[source]
-        target_load = new_target_cycles / tables.power[server]
+        new_target_cycles = self._cycles[target] + weighted
+        source_load = new_source_cycles / compiled.power[source]
+        target_load = new_target_cycles / compiled.power[target]
         loads = self._loads_list
-        i = tables.server_pos[source]
-        j = tables.server_pos[server]
-        old_i, old_j = loads[i], loads[j]
-        loads[i] = source_load
-        loads[j] = target_load
+        old_i, old_j = loads[source], loads[target]
+        loads[source] = source_load
+        loads[target] = target_load
         try:
-            penalty = tables.penalty(loads)
+            penalty = compiled.penalty(loads)
         finally:
-            loads[i] = old_i
-            loads[j] = old_j
-        objective = (
-            self.cost_model.execution_weight * execution
-            + self.cost_model.penalty_weight * penalty
-        )
+            loads[source] = old_i
+            loads[target] = old_j
+        objective = compiled.objective_value(execution, penalty)
         return (
             objective,
             execution,
@@ -544,6 +394,9 @@ class MoveEvaluator:
             )
         (
             outcome,
+            op,
+            target,
+            source,
             new_finish,
             source_cycles,
             target_cycles,
@@ -551,38 +404,34 @@ class MoveEvaluator:
             target_load,
         ) = self._pending
         self._pending = None
-        operation, server = outcome.operation, outcome.server
-        self._servers[operation] = server
-        self.deployment.assign(operation, server)
-        self._finish.update(new_finish)
-        self._cycles[outcome.previous_server] = source_cycles
-        self._cycles[server] = target_cycles
-        server_pos = self._tables.server_pos
-        self._loads_list[server_pos[outcome.previous_server]] = source_load
-        self._loads_list[server_pos[server]] = target_load
+        compiled = self.compiled
+        servers = self._servers
+        servers[op] = target
+        self.deployment.assign(outcome.operation, outcome.server)
+        finish = self._finish
+        for node, value in new_finish.items():
+            finish[node] = value
+        self._cycles[source] = source_cycles
+        self._cycles[target] = target_cycles
+        self._loads_list[source] = source_load
+        self._loads_list[target] = target_load
         # diagnostics totals: O(degree) message + O(1) processing deltas
-        tables = self._tables
-        old_tproc = tables.tproc[operation][outcome.previous_server]
-        new_tproc = tables.tproc[operation][server]
-        self._proc_total += tables.node_prob[operation] * (
-            new_tproc - old_tproc
+        tproc_row = compiled.tproc[op]
+        self._proc_total += compiled.node_prob[op] * (
+            tproc_row[target] - tproc_row[source]
         )
-        router = tables.router
-        for src, size_bits, weight in tables.incoming[operation]:
-            src_server = self._servers[src]
+        delay = compiled.delay
+        for src, size_bits, weight in compiled.incoming[op]:
+            src_server = servers[src]
             self._comm_total += weight * (
-                router.transmission_time(src_server, server, size_bits)
-                - router.transmission_time(
-                    src_server, outcome.previous_server, size_bits
-                )
+                delay(src_server, target, size_bits)
+                - delay(src_server, source, size_bits)
             )
-        for dst, size_bits, weight in tables.outgoing[operation]:
-            dst_server = self._servers[dst]
+        for dst, size_bits, weight in compiled.outgoing[op]:
+            dst_server = servers[dst]
             self._comm_total += weight * (
-                router.transmission_time(server, dst_server, size_bits)
-                - router.transmission_time(
-                    outcome.previous_server, dst_server, size_bits
-                )
+                delay(target, dst_server, size_bits)
+                - delay(source, dst_server, size_bits)
             )
         self._execution = outcome.execution_time
         self._penalty = outcome.time_penalty
@@ -608,14 +457,15 @@ class MoveEvaluator:
 
 
 class TableScorer:
-    """Full-mapping objective scoring against precomputed tables.
+    """Full-mapping objective scoring against the compiled tables.
 
     For algorithms that price complete candidate mappings (genetic
     genomes, branch-and-bound leaves, random samples): the same result
     as ``cost_model.objective(Deployment(...))`` without constructing a
     throwaway :class:`~repro.core.mapping.Deployment`, without the two
     O(M) validation passes, and with every ``Tproc`` division and route
-    lookup amortised into shared tables.
+    lookup amortised into the shared
+    :class:`~repro.core.compiled.CompiledInstance`.
 
     Parameters
     ----------
@@ -632,19 +482,25 @@ class TableScorer:
         operations: Sequence[str] | None = None,
     ):
         self.cost_model = cost_model
-        self._tables = _Tables(cost_model)
+        self.compiled = cost_model.compiled
+        compiled = self.compiled
         ops = (
             tuple(operations)
             if operations is not None
-            else self._tables.op_names
+            else compiled.op_names
         )
-        if sorted(ops) != sorted(self._tables.op_names):
+        if sorted(ops) != sorted(compiled.op_names):
             raise DeploymentError(
                 "scorer operation order must cover exactly the workflow's "
                 "operations"
             )
         self.operations: tuple[str, ...] = ops
         self._index = {name: i for i, name in enumerate(ops)}
+        # genome position of each compiled op index, so a genome converts
+        # to a server vector with one list comprehension
+        self._genome_pos: tuple[int, ...] = tuple(
+            self._index[name] for name in compiled.op_names
+        )
         #: Number of genomes scored (diagnostics).
         self.evaluations = 0
 
@@ -652,63 +508,17 @@ class TableScorer:
         self, genome: Sequence[str]
     ) -> tuple[float, float, float]:
         """``(execution_time, time_penalty, objective)`` of *genome*."""
-        tables = self._tables
+        compiled = self.compiled
         self.evaluations += 1
-        index = self._index
-        router = tables.router
-        # loads, accumulated in the cost model's operation order
-        cycles = {name: 0.0 for name in tables.server_names}
-        for name in tables.op_names:
-            cycles[genome[index[name]]] += tables.wcycles[name]
-        penalty = tables.penalty(
-            [cycles[s] / tables.power[s] for s in tables.server_names]
+        server_index = compiled.server_index
+        servers = [server_index[genome[pos]] for pos in self._genome_pos]
+        penalty = compiled.penalty(compiled.load_values(servers))
+        execution = compiled.execution_from(compiled.forward_pass(servers))
+        return (
+            execution,
+            penalty,
+            compiled.objective_value(execution, penalty),
         )
-        # forward pass in the cost model's topological order
-        delay_cache = tables.delay_cache
-        kind_of = tables.kind
-        xor_join = NodeKind.XOR_JOIN
-        or_join = NodeKind.OR_JOIN
-        finish: dict[str, float] = {}
-        for name in tables.order:
-            incoming = tables.incoming[name]
-            server = genome[index[name]]
-            if not incoming:
-                ready = 0.0
-            else:
-                arrivals = []
-                append = arrivals.append
-                for source, size_bits, _ in incoming:
-                    key = (genome[index[source]], server, size_bits)
-                    delay = delay_cache.get(key)
-                    if delay is None:
-                        delay = router.transmission_time(*key)
-                        delay_cache[key] = delay
-                    append(finish[source] + delay)
-                # join semantics inlined (see _Tables.ready_time)
-                kind = kind_of[name]
-                if kind is xor_join:
-                    total = tables.weight_total[name]
-                    if total <= 0:
-                        ready = max(arrivals)
-                    else:
-                        ready = (
-                            sum(
-                                w * a
-                                for w, a in zip(tables.weights[name], arrivals)
-                            )
-                            / total
-                        )
-                elif kind is or_join:
-                    ready = min(arrivals)
-                else:
-                    ready = max(arrivals)
-            finish[name] = ready + tables.tproc[name][server]
-        execution = max(finish[name] for name in tables.exits)
-        objective = (
-            self.cost_model.execution_weight * execution
-            + self.cost_model.penalty_weight * penalty
-        )
-        return execution, penalty, objective
 
     def objective(self, genome: Sequence[str]) -> float:
         """The scalar objective of *genome* (cheapest entry point)."""

@@ -19,13 +19,13 @@ experiments): Line--Bus (2.9 %, 12 %) at 1 Mbps and (29 %, 0.3 %) at
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.algorithms.base import DeploymentAlgorithm, get_algorithm
 from repro.algorithms.sampling import SolutionSampler
 from repro.core.cost import CostModel
+from repro.core.rng import coerce_rng
 from repro.exceptions import ExperimentError
 from repro.experiments.reporting import TextTable, format_percent
 from repro.experiments.runner import DEFAULT_ALGORITHMS, ExperimentConfig
@@ -154,12 +154,12 @@ class QualityProtocol:
         for experiment in range(self.experiments):
             workflow, network = config.instance(experiment)
             cost_model = CostModel(workflow, network)
-            sample_rng = random.Random(f"{config.seed}:{experiment}:sample")
+            sample_rng = coerce_rng(f"{config.seed}:{experiment}:sample")
             statistics = self.sampler.run(
                 workflow, network, cost_model, sample_rng
             )
             for name, algorithm in self._algorithms:
-                rng = random.Random(f"{config.seed}:{experiment}:{name}")
+                rng = coerce_rng(f"{config.seed}:{experiment}:{name}")
                 deployment = algorithm.deploy(
                     workflow, network, cost_model=cost_model, rng=rng
                 )

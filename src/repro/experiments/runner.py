@@ -11,13 +11,13 @@ their means.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.algorithms.base import DeploymentAlgorithm, get_algorithm
 from repro.core.cost import CostBreakdown, CostModel
 from repro.core.mapping import Deployment
+from repro.core.rng import coerce_rng
 from repro.core.workflow import Workflow
 from repro.exceptions import ExperimentError
 from repro.experiments.reporting import TextTable, format_seconds
@@ -133,7 +133,7 @@ class ExperimentConfig:
 
     def instance(self, index: int) -> tuple[Workflow, ServerNetwork]:
         """Materialise instance *index* (deterministic in ``seed``)."""
-        rng = random.Random(f"{self.seed}:{index}")
+        rng = coerce_rng(f"{self.seed}:{index}")
         parameters = self.effective_parameters
         if self.workflow_kind == "line":
             workflow = line_workflow(
@@ -278,7 +278,7 @@ class ExperimentRunner:
             workflow, network = config.instance(repetition)
             cost_model = CostModel(workflow, network)
             for name, algorithm in self._algorithms:
-                rng = random.Random(f"{config.seed}:{repetition}:{name}")
+                rng = coerce_rng(f"{config.seed}:{repetition}:{name}")
                 deployment = algorithm.deploy(
                     workflow, network, cost_model=cost_model, rng=rng
                 )

@@ -28,7 +28,6 @@ seeded scenario twice produces byte-identical logs and metrics.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -36,6 +35,7 @@ from typing import Callable, Iterable, Sequence
 from repro.algorithms.base import get_algorithm
 from repro.core.cost import PENALTY_MODES
 from repro.core.incremental import MoveEvaluator
+from repro.core.rng import coerce_rng
 from repro.exceptions import ServiceError
 from repro.network.topology import ServerNetwork
 from repro.service.events import (
@@ -148,7 +148,7 @@ class FleetController:
         )
         self.log = FleetLog()
         self._clock = clock if clock is not None else time.perf_counter
-        self._rng = random.Random(self.config.seed)
+        self._rng = coerce_rng(self.config.seed)
         #: Deterministic work counter: fleet-objective evaluations spent
         #: on rebalancing / spreading decisions.
         self.evaluations = 0
@@ -335,13 +335,9 @@ class FleetController:
         state = self.state
         queue: list[tuple[float, str, str]] = []
         for tenant, operations in orphans.items():
-            record = state.tenant(tenant)
-            model = state.cost_model(tenant)
+            compiled = state.cost_model(tenant).compiled
             for operation in operations:
-                weighted = (
-                    record.workflow.operation(operation).cycles
-                    * model.node_probability(operation)
-                )
+                weighted = compiled.wcycles[compiled.op_index[operation]]
                 queue.append((weighted, tenant, operation))
         queue.sort(key=lambda item: (-item[0], item[1], item[2]))
         budgets = state.remaining_budgets()
@@ -430,12 +426,9 @@ class FleetController:
             best: tuple | None = None
             for tenant, operation in candidates(loads):
                 record = state.tenant(tenant)
-                model = state.cost_model(tenant)
+                compiled = state.cost_model(tenant).compiled
                 source = record.deployment.server_of(operation)
-                weighted = (
-                    record.workflow.operation(operation).cycles
-                    * model.node_probability(operation)
-                )
+                weighted = compiled.wcycles[compiled.op_index[operation]]
                 destinations = (
                     targets
                     if targets is not None

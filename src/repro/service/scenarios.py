@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.rng import coerce_rng
 from repro.exceptions import ServiceError
 from repro.network.topology import ServerNetwork
 from repro.service.controller import FleetConfig, FleetController, StepClock
@@ -81,7 +82,7 @@ def _tenant_workflow(rng: random.Random, index: int, graph_share: float = 0.3):
 
 def _build_steady(seed: int) -> Scenario:
     """Arrivals and departures on a 6-server fleet, no infrastructure."""
-    rng = random.Random(seed)
+    rng = coerce_rng(seed)
     network = random_bus_network(
         6, seed=rng.randrange(2**31), name="fleet-steady"
     )
@@ -112,7 +113,7 @@ def _build_steady(seed: int) -> Scenario:
 
 def _build_churn(seed: int) -> Scenario:
     """Capacity-limited arrivals with failures and a late join."""
-    rng = random.Random(seed)
+    rng = coerce_rng(seed)
     network = random_bus_network(
         8, seed=rng.randrange(2**31), name="fleet-churn"
     )
@@ -160,7 +161,7 @@ def _build_churn(seed: int) -> Scenario:
 
 def _build_surge(seed: int) -> Scenario:
     """A 200-event trace over a 20-server fleet (benchmark scenario)."""
-    rng = random.Random(seed)
+    rng = coerce_rng(seed)
     network = random_bus_network(
         20, seed=rng.randrange(2**31), name="fleet-surge"
     )

@@ -14,7 +14,10 @@ picture:
 * a shared :class:`InstrumentedRouter` and a per-tenant
   :class:`~repro.core.cost.CostModel` cache, both invalidated together
   whenever the topology changes -- the "shared cost-evaluation cache
-  across tenants" that makes a 200-event replay cheap.
+  across tenants" that makes a 200-event replay cheap. Each cached cost
+  model carries the tenant's
+  :class:`~repro.core.compiled.CompiledInstance`, the one compiled
+  artifact its move evaluators, scorers and simulations all borrow.
 
 All aggregate metrics (combined loads, fairness penalty, Jain balance
 index, the scalar fleet objective) are deterministic functions of the
@@ -23,10 +26,10 @@ state, which is what lets the controller log byte-identical replays.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.core.compiled import penalty_statistic
 from repro.core.cost import PENALTY_MODES, CostModel
 from repro.core.mapping import Deployment
 from repro.core.workflow import Workflow
@@ -99,18 +102,13 @@ class FleetSnapshot:
 
 
 def load_penalty(values: list[float], mode: str) -> float:
-    """The :data:`~repro.core.cost.PENALTY_MODES` statistic over *values*."""
-    if not values:
-        return 0.0
-    mean = sum(values) / len(values)
-    deviations = [abs(v - mean) for v in values]
-    if mode == "mad":
-        return sum(deviations) / len(values)
-    if mode == "sum_abs":
-        return sum(deviations)
-    if mode == "max":
-        return max(deviations)
-    return math.sqrt(sum(d * d for d in deviations) / len(values))
+    """The :data:`~repro.core.cost.PENALTY_MODES` statistic over *values*.
+
+    A fleet-facing alias of
+    :func:`repro.core.compiled.penalty_statistic` (formerly a third
+    private copy of the formula).
+    """
+    return penalty_statistic(values, mode)
 
 
 def jain_index(loads: Mapping[str, float]) -> float:
@@ -304,14 +302,14 @@ class FleetState:
         """
         totals = {name: 0.0 for name in self._network.server_names}
         for name, record in self._tenants.items():
-            model = self.cost_model(name)
+            compiled = self.cost_model(name).compiled
+            wcycles = compiled.wcycles
+            op_index = compiled.op_index
             for operation in record.workflow:
                 server = record.deployment.get(operation.name)
                 if server is None:
                     continue
-                totals[server] += (
-                    operation.cycles * model.node_probability(operation.name)
-                )
+                totals[server] += wcycles[op_index[operation.name]]
         return totals
 
     def remaining_budgets(self, extra_cycles: float = 0.0) -> dict[str, float]:

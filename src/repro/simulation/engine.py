@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import random
 
+from repro.core.compiled import CompiledInstance
 from repro.core.mapping import Deployment
+from repro.core.rng import coerce_rng
 from repro.core.workflow import NodeKind, Workflow
 from repro.exceptions import SimulationError
 from repro.network.routing import Router
@@ -59,7 +61,14 @@ class SimulationEngine:
         (every transfer proceeds independently); the flag quantifies
         what that assumption hides on congested buses.
     router:
-        Optional shared :class:`~repro.network.routing.Router`.
+        Optional shared :class:`~repro.network.routing.Router`. Ignored
+        when *compiled* is given (the artifact's router is used).
+    compiled:
+        Optional shared :class:`~repro.core.compiled.CompiledInstance`
+        of the same ``(workflow, network)`` pair; processing durations
+        and message delays are then read from its precompiled ``Tproc``
+        and route-delay tables instead of being recomputed per event.
+        Built here when omitted.
     """
 
     def __init__(
@@ -70,6 +79,7 @@ class SimulationEngine:
         server_concurrency: int | None = None,
         exclusive_bus: bool = False,
         router: Router | None = None,
+        compiled: CompiledInstance | None = None,
     ):
         if server_concurrency is not None and server_concurrency < 1:
             raise SimulationError("server_concurrency must be >= 1 or None")
@@ -78,20 +88,33 @@ class SimulationEngine:
         if not workflow.is_dag():
             raise SimulationError("cannot simulate a cyclic workflow")
         workflow.validate_xor_probabilities()
+        if compiled is not None and (
+            compiled.workflow is not workflow or compiled.network is not network
+        ):
+            raise SimulationError(
+                "compiled artifact does not match the engine's workflow "
+                "and network"
+            )
         self.workflow = workflow
         self.network = network
         self.deployment = deployment
         self.server_concurrency = server_concurrency
         self.exclusive_bus = exclusive_bus
-        self.router = router or Router(network)
+        if compiled is None:
+            compiled = CompiledInstance(
+                workflow, network, router=router or Router(network)
+            )
+        self.compiled = compiled
+        self.router = compiled.router
 
     # ------------------------------------------------------------------
     def run(self, rng: random.Random | int | None = None) -> SimulationResult:
-        """Execute once; *rng* drives XOR branch sampling."""
-        if rng is None:
-            rng = random.Random(0)
-        elif isinstance(rng, int):
-            rng = random.Random(rng)
+        """Execute once; *rng* drives XOR branch sampling.
+
+        ``rng=None`` explicitly means the library-wide deterministic
+        default, ``Random(0)`` -- see :func:`repro.core.rng.coerce_rng`.
+        """
+        rng = coerce_rng(rng)
 
         workflow = self.workflow
         queue = EventQueue()
@@ -127,13 +150,14 @@ class SimulationEngine:
             else:
                 server_queue[server].append(name)
 
+        compiled = self.compiled
+        op_index = compiled.op_index
+        server_index = compiled.server_index
+
         def begin(name: str, server: str, now: float) -> None:
             started.add(name)
             server_running[server] += 1
-            duration = (
-                workflow.operation(name).cycles
-                / self.network.server(server).power_hz
-            )
+            duration = compiled.tproc[op_index[name]][server_index[server]]
             busy_time[server] += duration
             queue.schedule(
                 now + duration,
@@ -163,8 +187,10 @@ class SimulationEngine:
             source_server = self.deployment.server_of(name)
             for message in selected:
                 target_server = self.deployment.server_of(message.target)
-                delay = self.router.transmission_time(
-                    source_server, target_server, message.size_bits
+                delay = compiled.delay(
+                    server_index[source_server],
+                    server_index[target_server],
+                    message.size_bits,
                 )
                 arrival = now + delay
                 crossed = source_server != target_server
@@ -261,13 +287,14 @@ class SimulationEngine:
     def run_many(
         self, runs: int, rng: random.Random | int | None = None
     ) -> list[SimulationResult]:
-        """Execute *runs* times with one shared RNG stream."""
+        """Execute *runs* times with one shared RNG stream.
+
+        ``rng=None`` explicitly means the library-wide deterministic
+        default, ``Random(0)`` -- see :func:`repro.core.rng.coerce_rng`.
+        """
         if runs < 1:
             raise SimulationError("runs must be >= 1")
-        if rng is None:
-            rng = random.Random(0)
-        elif isinstance(rng, int):
-            rng = random.Random(rng)
+        rng = coerce_rng(rng)
         return [self.run(rng) for _ in range(runs)]
 
     def expected_makespan(

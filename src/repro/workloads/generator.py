@@ -27,6 +27,7 @@ import random
 from enum import Enum
 
 from repro.core.builder import WorkflowBuilder
+from repro.core.rng import coerce_rng
 from repro.core.workflow import NodeKind, Workflow
 from repro.exceptions import ExperimentError
 from repro.network.topology import ServerNetwork, bus_network, line_network
@@ -65,12 +66,6 @@ class GraphStructure(Enum):
         return self.value
 
 
-def _coerce_rng(seed: int | random.Random | None) -> random.Random:
-    if isinstance(seed, random.Random):
-        return seed
-    return random.Random(0 if seed is None else seed)
-
-
 def line_workflow(
     num_operations: int,
     seed: int | random.Random | None = None,
@@ -90,7 +85,7 @@ def line_workflow(
     """
     if num_operations < 1:
         raise ExperimentError("a line workflow needs at least one operation")
-    rng = _coerce_rng(seed)
+    rng = coerce_rng(seed)
     parameters = parameters or ClassCParameters.paper()
     workflow = Workflow(name or f"line-{num_operations}")
     previous = None
@@ -270,7 +265,7 @@ def random_graph_workflow(
         raise ExperimentError("a workflow needs at least one operation")
     if max_branches < 2:
         raise ExperimentError("max_branches must be >= 2")
-    rng = _coerce_rng(seed)
+    rng = coerce_rng(seed)
     parameters = parameters or ClassCParameters.paper()
 
     target_regions = round(structure.decision_fraction * num_operations / 2)
@@ -303,7 +298,7 @@ def random_bus_network(
     """A bus of *num_servers* with sampled powers and one sampled speed."""
     if num_servers < 1:
         raise ExperimentError("a network needs at least one server")
-    rng = _coerce_rng(seed)
+    rng = coerce_rng(seed)
     parameters = parameters or ClassCParameters.paper()
     powers = [parameters.server_power_hz.sample(rng) for _ in range(num_servers)]
     speed = parameters.line_speed_bps.sample(rng)
@@ -319,7 +314,7 @@ def random_line_network(
     """A line of *num_servers* with per-link sampled speeds."""
     if num_servers < 1:
         raise ExperimentError("a network needs at least one server")
-    rng = _coerce_rng(seed)
+    rng = coerce_rng(seed)
     parameters = parameters or ClassCParameters.paper()
     powers = [parameters.server_power_hz.sample(rng) for _ in range(num_servers)]
     speeds = [

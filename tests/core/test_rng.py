@@ -1,0 +1,46 @@
+"""Unit tests for the shared seed-coercion helper."""
+
+import random
+
+from repro.core.rng import DEFAULT_SEED, coerce_rng
+
+
+class TestCoerceRng:
+    def test_random_instance_passes_through(self):
+        rng = random.Random(7)
+        assert coerce_rng(rng) is rng
+
+    def test_none_means_the_documented_default_seed(self):
+        assert DEFAULT_SEED == 0
+        rng = coerce_rng(None)
+        stream = [rng.random() for _ in range(5)]
+        reference = random.Random(0)
+        assert stream == [reference.random() for _ in range(5)]
+
+    def test_none_returns_fresh_generators(self):
+        # each call starts a new Random(0) stream, not a shared one
+        assert coerce_rng(None) is not coerce_rng(None)
+        assert coerce_rng(None).random() == coerce_rng(None).random()
+
+    def test_int_seed_matches_random_random(self):
+        for seed in (0, 1, 42, 10**9):
+            assert (
+                coerce_rng(seed).random() == random.Random(seed).random()
+            ), seed
+
+    def test_string_seed_matches_random_random(self):
+        # the experiment harness derives per-instance string seeds like
+        # f"{seed}:{index}"; the helper must preserve those streams
+        for seed in ("0:0", "7:3:HillClimbing", "abc"):
+            assert (
+                coerce_rng(seed).getrandbits(64)
+                == random.Random(seed).getrandbits(64)
+            ), seed
+
+    def test_passthrough_continues_the_callers_stream(self):
+        rng = random.Random(3)
+        rng.random()
+        continued = coerce_rng(rng)
+        expected = random.Random(3)
+        expected.random()
+        assert continued.random() == expected.random()
