@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-smoke figures claims docs examples all clean
+.PHONY: install test lint bench bench-smoke figures claims docs examples all clean
 
 install:
 	pip install -e .
@@ -11,14 +11,20 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# static checks (config in pyproject.toml [tool.ruff]); install with
+# `pip install -e .[lint]`
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples tools
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# tiny-parameter smoke run of the move-evaluation and core-perf benches
-# (used by CI): exercises both pricing code paths and the
-# compiled-vs-legacy parity check without asserting the perf floors
+# tiny-parameter smoke run of the move-evaluation, core-perf and
+# runtime-overhead benches (used by CI): exercises both pricing code
+# paths, the compiled-vs-legacy parity check and the legacy-loop parity
+# of the search runtime without asserting the perf floors
 bench-smoke:
-	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py benchmarks/bench_core_perf.py --benchmark-disable -q
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py benchmarks/bench_core_perf.py benchmarks/bench_runtime.py --benchmark-disable -q
 
 figures:
 	$(PYTHON) -m repro figures --output benchmarks/output

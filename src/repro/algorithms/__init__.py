@@ -30,13 +30,33 @@ Extensions (section 6 future work)
     exact optimum with pruning (a stronger §3.1);
     :class:`~repro.algorithms.genetic.GeneticAlgorithm` is a population-
     based improver seeded with the greedy suite.
+
+The search runtime (:mod:`repro.algorithms.runtime`)
+    Every iterative algorithm above is expressed as a *step generator*
+    driven by :class:`~repro.algorithms.runtime.SearchRuntime` under a
+    :class:`~repro.algorithms.runtime.SearchBudget` (step/evaluation
+    caps, wall-clock deadlines), with cooperative cancellation via
+    :class:`~repro.algorithms.runtime.CancelToken` and a structured
+    :class:`~repro.algorithms.runtime.SearchReport` per run. Pass
+    ``budget=`` / ``cancel=`` to any ``deploy`` call, or use
+    ``deploy_with_report`` to also get the anytime best-so-far curve.
 """
 
 from repro.algorithms.base import (
     DeploymentAlgorithm,
+    ProblemContext,
     algorithm_registry,
     get_algorithm,
     register_algorithm,
+)
+from repro.algorithms.runtime import (
+    CancelToken,
+    SearchBudget,
+    SearchOutcome,
+    SearchProgress,
+    SearchReport,
+    SearchRuntime,
+    SearchStep,
 )
 from repro.algorithms.exhaustive import Exhaustive
 from repro.algorithms.sampling import RandomMapping, SolutionSampler, SampleStatistics
@@ -52,9 +72,17 @@ from repro.algorithms.constrained import ConstraintAwareSearch
 
 __all__ = [
     "DeploymentAlgorithm",
+    "ProblemContext",
     "algorithm_registry",
     "get_algorithm",
     "register_algorithm",
+    "CancelToken",
+    "SearchBudget",
+    "SearchOutcome",
+    "SearchProgress",
+    "SearchReport",
+    "SearchRuntime",
+    "SearchStep",
     "Exhaustive",
     "RandomMapping",
     "SolutionSampler",

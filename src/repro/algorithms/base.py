@@ -17,8 +17,18 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Iterator, Mapping
 
+from repro.algorithms.runtime import (
+    CancelToken,
+    SearchBudget,
+    SearchOutcome,
+    SearchProgress,
+    SearchReport,
+    SearchRuntime,
+    SearchStep,
+)
+from repro.core.clock import Clock
 from repro.core.compiled import CompiledInstance
 from repro.core.cost import CostModel
 from repro.core.mapping import Deployment
@@ -85,6 +95,17 @@ class ProblemContext:
         -- the integer-indexed problem IR shared by every consumer, so
         algorithm inner loops can price candidates without name-dict
         lookups.
+    budget:
+        The :class:`~repro.algorithms.runtime.SearchBudget` governing
+        this deploy call (unlimited by default).
+    cancel:
+        Optional :class:`~repro.algorithms.runtime.CancelToken` the
+        caller can trigger to preempt the search.
+    clock, on_progress:
+        The runtime's clock and periodic progress callback.
+    report:
+        The :class:`~repro.algorithms.runtime.SearchReport` of the last
+        :meth:`search` run (``None`` for non-iterative algorithms).
     """
 
     workflow: Workflow
@@ -94,6 +115,31 @@ class ProblemContext:
     op_weights: Mapping[str, float] = field(default_factory=dict)
     msg_weights: Mapping[tuple[str, str], float] = field(default_factory=dict)
     compiled: CompiledInstance | None = None
+    budget: SearchBudget = field(default_factory=SearchBudget)
+    cancel: CancelToken | None = None
+    clock: Clock | None = None
+    on_progress: Callable[[SearchProgress], None] | None = None
+    report: SearchReport | None = None
+
+    def search(self, steps: Iterator[SearchStep]) -> SearchOutcome:
+        """Run a step generator under this context's budget and plumbing.
+
+        The one entry point search algorithms use from ``_deploy``:
+        builds a :class:`~repro.algorithms.runtime.SearchRuntime` with
+        the context's budget, clock, cancel token and progress
+        callback, drives *steps* under it, and records the resulting
+        report on the context (surfaced by
+        :meth:`DeploymentAlgorithm.deploy_with_report`).
+        """
+        runtime = SearchRuntime(
+            budget=self.budget,
+            clock=self.clock,
+            cancel=self.cancel,
+            on_progress=self.on_progress,
+        )
+        outcome = runtime.run(steps)
+        self.report = outcome.report
+        return outcome
 
     def weighted_cycles(self, operation_name: str) -> float:
         """``C(op)`` scaled by the operation's execution probability."""
@@ -154,6 +200,10 @@ class DeploymentAlgorithm(ABC):
         network: ServerNetwork,
         cost_model: CostModel | None = None,
         rng: random.Random | int | None = None,
+        budget: SearchBudget | None = None,
+        cancel: CancelToken | None = None,
+        clock: Clock | None = None,
+        on_progress: Callable[[SearchProgress], None] | None = None,
     ) -> Deployment:
         """Compute a complete mapping of *workflow* onto *network*.
 
@@ -173,6 +223,55 @@ class DeploymentAlgorithm(ABC):
             tie-breaks. ``None`` explicitly means the library-wide
             deterministic default, ``Random(0)`` -- see
             :func:`repro.core.rng.coerce_rng`.
+        budget:
+            Optional :class:`~repro.algorithms.runtime.SearchBudget`.
+            Iterative algorithms stop at whichever limit fires first
+            and return their best-so-far incumbent -- always a valid,
+            complete deployment. With the default unlimited budget,
+            seeded results are byte-identical to the pre-runtime
+            implementations. Non-iterative algorithms (the greedy
+            suite) ignore the budget.
+        cancel:
+            Optional :class:`~repro.algorithms.runtime.CancelToken` to
+            preempt the search cooperatively.
+        clock:
+            Clock used for ``budget.deadline_s`` (monotonic wall clock
+            by default; inject :class:`~repro.core.clock.StepClock`
+            for deterministic tests).
+        on_progress:
+            Periodic per-step progress callback (see
+            :class:`~repro.algorithms.runtime.SearchRuntime`).
+        """
+        deployment, _ = self.deploy_with_report(
+            workflow,
+            network,
+            cost_model=cost_model,
+            rng=rng,
+            budget=budget,
+            cancel=cancel,
+            clock=clock,
+            on_progress=on_progress,
+        )
+        return deployment
+
+    def deploy_with_report(
+        self,
+        workflow: Workflow,
+        network: ServerNetwork,
+        cost_model: CostModel | None = None,
+        rng: random.Random | int | None = None,
+        budget: SearchBudget | None = None,
+        cancel: CancelToken | None = None,
+        clock: Clock | None = None,
+        on_progress: Callable[[SearchProgress], None] | None = None,
+    ) -> tuple[Deployment, SearchReport | None]:
+        """:meth:`deploy`, plus the search report.
+
+        Returns ``(deployment, report)`` where *report* is the
+        :class:`~repro.algorithms.runtime.SearchReport` of the
+        algorithm's top-level search -- evaluation counts, the anytime
+        best-so-far curve and the stop reason -- or ``None`` for
+        non-iterative algorithms.
         """
         if len(workflow) == 0:
             raise AlgorithmError("workflow has no operations")
@@ -204,10 +303,14 @@ class DeploymentAlgorithm(ABC):
             op_weights=op_weights,
             msg_weights=msg_weights,
             compiled=cost_model.compiled,
+            budget=budget if budget is not None else SearchBudget(),
+            cancel=cancel,
+            clock=clock,
+            on_progress=on_progress,
         )
         deployment = self._deploy(context)
         deployment.validate(workflow, network)
-        return deployment
+        return deployment, context.report
 
     @abstractmethod
     def _deploy(self, context: ProblemContext) -> Deployment:

@@ -23,9 +23,19 @@ Both bounds are exact at the leaves, so the incumbent at exhaustion is
 the global optimum (asserted against :class:`Exhaustive` in the test
 suite). The incumbent is seeded with HeavyOps-LargeMsgs so pruning bites
 immediately.
+
+Every explored node is one :class:`~repro.algorithms.runtime.SearchStep`
+on the shared runtime, which turns the exact solver into an *anytime*
+one: under a deadline or evaluation budget it returns the best
+incumbent found so far (optimal only at exhaustion -- check
+``report.stop_reason``), and a cancel token aborts cleanly. The
+``node_limit`` hard stop is unchanged: exceeding it is still an error,
+whereas a budget is a graceful stop.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 from repro.algorithms.base import (
     DeploymentAlgorithm,
@@ -34,10 +44,11 @@ from repro.algorithms.base import (
 )
 from repro.algorithms.fair_load import sorted_operations_by_cost
 from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.algorithms.runtime import SearchBudget, SearchStep
 from repro.core.incremental import TableScorer
 from repro.core.mapping import Deployment
 from repro.core.workflow import NodeKind
-from repro.exceptions import AlgorithmError, SearchSpaceTooLargeError
+from repro.exceptions import SearchSpaceTooLargeError
 
 __all__ = ["BranchAndBound"]
 
@@ -62,9 +73,9 @@ class BranchAndBound(DeploymentAlgorithm):
     def __init__(self, node_limit: int = DEFAULT_NODE_LIMIT):
         # same contract as Exhaustive: a bad argument is AlgorithmError,
         # SearchSpaceTooLargeError is reserved for the search outcome
-        if node_limit < 1:
-            raise AlgorithmError("node_limit must be >= 1")
-        self.node_limit = node_limit
+        self.node_limit = SearchBudget.validate_count(
+            "node_limit", node_limit
+        )
         self.nodes_explored = 0
 
     # ------------------------------------------------------------------
@@ -183,6 +194,9 @@ class BranchAndBound(DeploymentAlgorithm):
     # search
     # ------------------------------------------------------------------
     def _deploy(self, context: ProblemContext) -> Deployment:
+        return context.search(self._steps(context)).best
+
+    def _steps(self, context: ProblemContext):
         workflow = context.workflow
         network = context.network
         cost_model = context.cost_model
@@ -199,13 +213,21 @@ class BranchAndBound(DeploymentAlgorithm):
         incumbent = HeavyOpsLargeMsgs().deploy(
             workflow, network, cost_model=cost_model, rng=context.rng
         )
-        best_value = scorer.score_mapping(incumbent.as_dict())
         best_mapping = incumbent.as_dict()
+        best_value = scorer.score_mapping(best_mapping)
 
         assignment: dict[str, str] = {}
         assigned_cycles = {name: 0.0 for name in servers}
         total_cycles = context.total_weighted_cycles()
         self.nodes_explored = 0
+
+        # called by the runtime only at strict improvements, which happen
+        # synchronously at the yield that carried the improved value --
+        # best_mapping is exactly the mapping that scored best_value then
+        def snapshot() -> Deployment:
+            return Deployment(dict(best_mapping))
+
+        yield SearchStep(best_value, snapshot, evals=1)
 
         def bound(remaining: float) -> float:
             execution = self._execution_lower_bound(
@@ -219,7 +241,7 @@ class BranchAndBound(DeploymentAlgorithm):
                 + cost_model.penalty_weight * penalty
             )
 
-        def recurse(index: int, remaining: float) -> None:
+        def recurse(index: int, remaining: float) -> Iterator[SearchStep]:
             nonlocal best_value, best_mapping
             self.nodes_explored += 1
             if self.nodes_explored > self.node_limit:
@@ -232,16 +254,21 @@ class BranchAndBound(DeploymentAlgorithm):
                 if value < best_value:
                     best_value = value
                     best_mapping = dict(assignment)
+                    yield SearchStep(value, snapshot, evals=1, accepted=1)
+                else:
+                    yield SearchStep(
+                        best_value, snapshot, evals=1, rejected=1
+                    )
                 return
+            yield SearchStep(best_value, snapshot, evals=1)
             operation = order[index]
             cycles = context.weighted_cycles(operation)
             for server in servers:
                 assignment[operation] = server
                 assigned_cycles[server] += cycles
                 if bound(remaining - cycles) < best_value - 1e-15:
-                    recurse(index + 1, remaining - cycles)
+                    yield from recurse(index + 1, remaining - cycles)
                 assigned_cycles[server] -= cycles
                 del assignment[operation]
 
-        recurse(0, total_cycles)
-        return Deployment(best_mapping)
+        yield from recurse(0, total_cycles)

@@ -16,9 +16,16 @@ The result is admissible whenever the search finds any admissible
 mapping; when the constraints are unsatisfiable it returns the mapping
 with the smallest remaining excess (callers can check with
 ``constraints.satisfied(...)``).
+
+The refinement loop runs as a step generator on the shared
+:class:`~repro.algorithms.runtime.SearchRuntime`; the yielded values
+are the lexicographic ``(excess, objective)`` pairs, so budgets and
+cancellation return the *most feasible* mapping seen so far.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 from repro.algorithms.base import (
     DeploymentAlgorithm,
@@ -26,9 +33,9 @@ from repro.algorithms.base import (
     register_algorithm,
 )
 from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.algorithms.runtime import SearchBudget, SearchStep
 from repro.core.constraints import ConstraintSet
 from repro.core.mapping import Deployment
-from repro.exceptions import AlgorithmError
 
 __all__ = ["ConstraintAwareSearch"]
 
@@ -56,17 +63,20 @@ class ConstraintAwareSearch(DeploymentAlgorithm):
         seed_algorithm: DeploymentAlgorithm | None = None,
         max_iterations: int = 200,
     ):
-        if max_iterations < 1:
-            raise AlgorithmError("max_iterations must be >= 1")
+        self.max_iterations = SearchBudget.validate_count(
+            "max_iterations", max_iterations
+        )
         self.constraints = constraints or ConstraintSet()
         self.seed_algorithm = seed_algorithm or HeavyOpsLargeMsgs()
-        self.max_iterations = max_iterations
 
     def _score(self, context: ProblemContext, deployment: Deployment):
         cost = context.cost_model.evaluate(deployment)
         return (self.constraints.total_excess(cost), cost.objective)
 
     def _deploy(self, context: ProblemContext) -> Deployment:
+        return context.search(self._steps(context)).best
+
+    def _steps(self, context: ProblemContext) -> Iterator[SearchStep]:
         current = self.seed_algorithm.deploy(
             context.workflow,
             context.network,
@@ -76,9 +86,11 @@ class ConstraintAwareSearch(DeploymentAlgorithm):
         current_score = self._score(context, current)
         operations = context.workflow.operation_names
         servers = context.network.server_names
+        yield SearchStep(current_score, current.copy, evals=1)
         for _ in range(self.max_iterations):
             best_move: tuple[str, str] | None = None
             best_score = current_score
+            evals = 0
             for operation in operations:
                 original = current.server_of(operation)
                 for server in servers:
@@ -86,12 +98,22 @@ class ConstraintAwareSearch(DeploymentAlgorithm):
                         continue
                     current.assign(operation, server)
                     score = self._score(context, current)
+                    evals += 1
                     if score < best_score:
                         best_score = score
                         best_move = (operation, server)
                 current.assign(operation, original)
             if best_move is None:
+                yield SearchStep(
+                    best_score, current.copy, evals=evals, rejected=evals
+                )
                 break
             current.assign(*best_move)
             current_score = best_score
-        return current
+            yield SearchStep(
+                best_score,
+                current.copy,
+                evals=evals,
+                accepted=1,
+                rejected=evals - 1,
+            )

@@ -6,9 +6,15 @@ of course -- the paper uses it only on small configurations to study the
 properties of near-optimal solutions, and so do we: a guard refuses
 search spaces beyond a configurable size instead of hanging.
 
-Besides the best mapping, :meth:`Exhaustive.search` exposes the whole
+Besides the best mapping, :meth:`Exhaustive.enumerate` exposes the whole
 evaluation as an iterator so the experiment harness can build Pareto
 fronts and optimality gaps on toy instances.
+
+Through ``deploy`` the enumeration runs on the shared
+:class:`~repro.algorithms.runtime.SearchRuntime`: every evaluated
+mapping is one step, so an evaluation budget or deadline turns the
+exact solver into an anytime one (best mapping seen so far; optimal
+only when ``report.exhausted``).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from repro.algorithms.base import (
     ProblemContext,
     register_algorithm,
 )
+from repro.algorithms.runtime import SearchStep
 from repro.core.cost import CostBreakdown, CostModel
 from repro.core.mapping import Deployment
 from repro.core.workflow import Workflow
@@ -122,6 +129,16 @@ class Exhaustive(DeploymentAlgorithm):
         return front
 
     def _deploy(self, context: ProblemContext) -> Deployment:
-        return self.best(
+        return context.search(self._steps(context)).best
+
+    def _steps(self, context: ProblemContext) -> Iterator[SearchStep]:
+        # one step per enumerated mapping; the runtime's strict-improvement
+        # incumbent keeps the first of equal minima, exactly like min()
+        for evaluated in self.enumerate(
             context.workflow, context.network, context.cost_model
-        ).deployment
+        ):
+            yield SearchStep(
+                evaluated.cost.objective,
+                lambda candidate=evaluated.deployment: candidate,
+                evals=1,
+            )

@@ -11,10 +11,15 @@ stochastic baseline than simulated annealing for the ablation benches:
 * tournament selection, uniform crossover, per-gene reset mutation,
   elitism of the single best individual;
 * the initial population mixes random mappings with the greedy suite's
-  results so the GA starts no worse than the paper's heuristics.
+  results so the GA starts no worse than the paper's heuristics;
+* one generation is one :class:`~repro.algorithms.runtime.SearchStep`,
+  so a deadline or evaluation budget stops evolution between
+  generations and returns the best individual seen so far.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 from repro.algorithms.base import (
     DeploymentAlgorithm,
@@ -23,6 +28,7 @@ from repro.algorithms.base import (
 )
 from repro.algorithms.fair_load import FairLoad
 from repro.algorithms.heavy_ops import HeavyOpsLargeMsgs
+from repro.algorithms.runtime import SearchBudget, SearchStep
 from repro.core.incremental import TableScorer
 from repro.core.mapping import Deployment
 from repro.exceptions import AlgorithmError
@@ -62,24 +68,27 @@ class GeneticAlgorithm(DeploymentAlgorithm):
         tournament: int = 3,
         seed_with_heuristics: bool = True,
     ):
-        if population_size < 2:
-            raise AlgorithmError("population_size must be >= 2")
-        if generations < 1:
-            raise AlgorithmError("generations must be >= 1")
+        self.population_size = SearchBudget.validate_count(
+            "population_size", population_size, minimum=2
+        )
+        self.generations = SearchBudget.validate_count(
+            "generations", generations
+        )
         if not 0.0 <= crossover_rate <= 1.0:
             raise AlgorithmError("crossover_rate must lie in [0, 1]")
         if not 0.0 <= mutation_rate <= 1.0:
             raise AlgorithmError("mutation_rate must lie in [0, 1]")
-        if tournament < 1:
-            raise AlgorithmError("tournament must be >= 1")
-        self.population_size = population_size
-        self.generations = generations
+        self.tournament = SearchBudget.validate_count(
+            "tournament", tournament
+        )
         self.crossover_rate = crossover_rate
         self.mutation_rate = mutation_rate
-        self.tournament = tournament
         self.seed_with_heuristics = seed_with_heuristics
 
     def _deploy(self, context: ProblemContext) -> Deployment:
+        return context.search(self._steps(context)).best
+
+    def _steps(self, context: ProblemContext) -> Iterator[SearchStep]:
         rng = context.rng
         cost_model = context.cost_model
         operations = context.workflow.operation_names
@@ -112,6 +121,9 @@ class GeneticAlgorithm(DeploymentAlgorithm):
             population.append(random_genome())
         scores = [fitness(genome) for genome in population]
 
+        def snapshot_of(genome: tuple[str, ...]):
+            return lambda: Deployment(dict(zip(operations, genome)))
+
         def select() -> tuple[str, ...]:
             best_index = rng.randrange(len(population))
             for _ in range(self.tournament - 1):
@@ -120,8 +132,13 @@ class GeneticAlgorithm(DeploymentAlgorithm):
                     best_index = challenger
             return population[best_index]
 
+        elite_index = max(range(len(population)), key=scores.__getitem__)
+        yield SearchStep(
+            -scores[elite_index],
+            snapshot_of(population[elite_index]),
+            evals=len(population),
+        )
         for _ in range(self.generations):
-            elite_index = max(range(len(population)), key=scores.__getitem__)
             next_population = [population[elite_index]]
             while len(next_population) < self.population_size:
                 parent_a = select()
@@ -143,6 +160,12 @@ class GeneticAlgorithm(DeploymentAlgorithm):
                 next_population.append(child)
             population = next_population
             scores = [fitness(genome) for genome in population]
-
-        best = max(range(len(population)), key=scores.__getitem__)
-        return Deployment(dict(zip(operations, population[best])))
+            # elitism keeps the champion at index 0, so the first max is
+            # the first genome ever to reach the current best score --
+            # exactly the incumbent the runtime tracks
+            elite_index = max(range(len(population)), key=scores.__getitem__)
+            yield SearchStep(
+                -scores[elite_index],
+                snapshot_of(population[elite_index]),
+                evals=len(population),
+            )

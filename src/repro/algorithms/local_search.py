@@ -19,6 +19,13 @@ dirty-region forward pass instead of a full ``CostModel.objective()``;
 both return byte-identical deployments for a fixed seed, and the
 benchmarks measure the speedup between them).
 
+Both are expressed as step generators driven by the shared
+:class:`~repro.algorithms.runtime.SearchRuntime`: one hill-climbing
+round or one annealing proposal is one step, incumbent tracking lives
+in the runtime, and any :class:`~repro.algorithms.runtime.SearchBudget`
+(deadline, evaluation cap) or cancel token stops the search at a step
+boundary with a valid best-so-far deployment.
+
 Each accepts any registered algorithm (or explicit deployment) as its
 starting point, so they compose naturally: ``HillClimbing(seed_algorithm=
 HeavyOpsLargeMsgs())`` polishes the paper's winner.
@@ -27,12 +34,14 @@ HeavyOpsLargeMsgs())`` polishes the paper's winner.
 from __future__ import annotations
 
 import math
+from typing import Iterator
 
 from repro.algorithms.base import (
     DeploymentAlgorithm,
     ProblemContext,
     register_algorithm,
 )
+from repro.algorithms.runtime import SearchBudget, SearchStep
 from repro.core.incremental import MoveEvaluator
 from repro.core.mapping import Deployment
 from repro.exceptions import AlgorithmError
@@ -72,7 +81,9 @@ class HillClimbing(_RefinementBase):
         Algorithm producing the starting mapping (random when omitted).
     max_iterations:
         Upper bound on improvement rounds; each round scans the full
-        ``M x (N - 1)`` move neighbourhood.
+        ``M x (N - 1)`` move neighbourhood. External budgets compose:
+        a ``SearchBudget`` passed to ``deploy`` can stop the climb
+        earlier still.
     use_incremental:
         Price moves with the incremental
         :class:`~repro.core.incremental.MoveEvaluator` (default) or fall
@@ -88,45 +99,61 @@ class HillClimbing(_RefinementBase):
         use_incremental: bool = True,
     ):
         super().__init__(seed_algorithm, use_incremental)
-        if max_iterations < 1:
-            raise AlgorithmError("max_iterations must be >= 1")
-        self.max_iterations = max_iterations
+        self.max_iterations = SearchBudget.validate_count(
+            "max_iterations", max_iterations
+        )
 
     def _deploy(self, context: ProblemContext) -> Deployment:
         current = self._starting_mapping(context)
         if self.use_incremental:
-            return self._deploy_incremental(context, current)
-        return self._deploy_full(context, current)
+            steps = self._steps_incremental(context, current)
+        else:
+            steps = self._steps_full(context, current)
+        return context.search(steps).best
 
-    def _deploy_incremental(
+    def _steps_incremental(
         self, context: ProblemContext, current: Deployment
-    ) -> Deployment:
+    ) -> Iterator[SearchStep]:
         evaluator = MoveEvaluator(context.cost_model, current)
+        yield SearchStep(evaluator.objective, current.copy, evals=1)
         for _ in range(self.max_iterations):
             best_move: tuple[str, str] | None = None
             best_value = evaluator.objective
+            evals = 0
             for operation in context.workflow.operation_names:
                 original = current.server_of(operation)
                 for server in context.network.server_names:
                     if server == original:
                         continue
                     value = evaluator.propose_value(operation, server)
+                    evals += 1
                     if value < best_value:
                         best_value = value
                         best_move = (operation, server)
             if best_move is None:
+                yield SearchStep(
+                    best_value, current.copy, evals=evals, rejected=evals
+                )
                 break
             evaluator.apply(*best_move)
-        return current
+            yield SearchStep(
+                best_value,
+                current.copy,
+                evals=evals,
+                accepted=1,
+                rejected=evals - 1,
+            )
 
-    def _deploy_full(
+    def _steps_full(
         self, context: ProblemContext, current: Deployment
-    ) -> Deployment:
+    ) -> Iterator[SearchStep]:
         cost_model = context.cost_model
         current_value = cost_model.objective(current)
+        yield SearchStep(current_value, current.copy, evals=1)
         for _ in range(self.max_iterations):
             best_move: tuple[str, str] | None = None
             best_value = current_value
+            evals = 0
             for operation in context.workflow.operation_names:
                 original = current.server_of(operation)
                 for server in context.network.server_names:
@@ -134,15 +161,25 @@ class HillClimbing(_RefinementBase):
                         continue
                     current.assign(operation, server)
                     value = cost_model.objective(current)
+                    evals += 1
                     if value < best_value:
                         best_value = value
                         best_move = (operation, server)
                 current.assign(operation, original)
             if best_move is None:
+                yield SearchStep(
+                    best_value, current.copy, evals=evals, rejected=evals
+                )
                 break
             current.assign(*best_move)
             current_value = best_value
-        return current
+            yield SearchStep(
+                best_value,
+                current.copy,
+                evals=evals,
+                accepted=1,
+                rejected=evals - 1,
+            )
 
 
 @register_algorithm
@@ -160,7 +197,8 @@ class SimulatedAnnealing(_RefinementBase):
     cooling:
         Geometric cooling factor per step, in ``(0, 1)``.
     steps:
-        Number of proposed moves.
+        Number of proposed moves (the schedule length; an external
+        ``SearchBudget`` can cut it short).
     use_incremental:
         Price moves with the incremental
         :class:`~repro.core.incremental.MoveEvaluator` (default) or fall
@@ -182,32 +220,37 @@ class SimulatedAnnealing(_RefinementBase):
             raise AlgorithmError("initial_temperature must be > 0")
         if not 0.0 < cooling < 1.0:
             raise AlgorithmError("cooling must lie strictly in (0, 1)")
-        if steps < 1:
-            raise AlgorithmError("steps must be >= 1")
         self.initial_temperature = initial_temperature
         self.cooling = cooling
-        self.steps = steps
+        self.steps = SearchBudget.validate_count("steps", steps)
 
     def _deploy(self, context: ProblemContext) -> Deployment:
         current = self._starting_mapping(context)
         if self.use_incremental:
-            return self._deploy_incremental(context, current)
-        return self._deploy_full(context, current)
+            steps = self._steps_incremental(context, current)
+        else:
+            steps = self._steps_full(context, current)
+        return context.search(steps).best
 
-    def _deploy_incremental(
+    def _steps_incremental(
         self, context: ProblemContext, current: Deployment
-    ) -> Deployment:
+    ) -> Iterator[SearchStep]:
         rng = context.rng
         operations = context.workflow.operation_names
         servers = context.network.server_names
         evaluator = MoveEvaluator(context.cost_model, current)
-        best = current.copy()
-        best_value = evaluator.objective
+        # hot loop: thousands of cheap steps, so the SearchStep is built
+        # with positional (value, snapshot, evals, accepted, rejected),
+        # the snapshot supplier is hoisted out of the loop and the
+        # current objective is tracked in a local instead of re-reading
+        # the evaluator property per rejected proposal
+        snapshot = current.copy
+        cooling = self.cooling
+        current_value = evaluator.objective
+        yield SearchStep(current_value, snapshot, 1)
         if len(servers) == 1:
-            return best  # no move neighbourhood exists
-        temperature = self.initial_temperature * max(
-            evaluator.objective, 1e-12
-        )
+            return  # no move neighbourhood exists
+        temperature = self.initial_temperature * max(current_value, 1e-12)
         for _ in range(self.steps):
             operation = rng.choice(operations)
             original = current.server_of(operation)
@@ -217,24 +260,24 @@ class SimulatedAnnealing(_RefinementBase):
             delta = outcome.delta
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
                 evaluator.commit()
-                if outcome.objective < best_value:
-                    best_value = outcome.objective
-                    best = current.copy()
-            temperature *= self.cooling
-        return best
+                current_value = outcome.objective
+                yield SearchStep(current_value, snapshot, 1, 1, 0)
+            else:
+                yield SearchStep(current_value, snapshot, 1, 0, 1)
+            temperature *= cooling
 
-    def _deploy_full(
+    def _steps_full(
         self, context: ProblemContext, current: Deployment
-    ) -> Deployment:
+    ) -> Iterator[SearchStep]:
         cost_model = context.cost_model
         rng = context.rng
         operations = context.workflow.operation_names
         servers = context.network.server_names
         current_value = cost_model.objective(current)
-        best = current.copy()
-        best_value = current_value
+        snapshot = current.copy
+        yield SearchStep(current_value, snapshot, 1)
         if len(servers) == 1:
-            return best  # no move neighbourhood exists
+            return  # no move neighbourhood exists
         temperature = self.initial_temperature * max(current_value, 1e-12)
         for _ in range(self.steps):
             operation = rng.choice(operations)
@@ -246,10 +289,8 @@ class SimulatedAnnealing(_RefinementBase):
             delta = value - current_value
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
                 current_value = value
-                if value < best_value:
-                    best_value = value
-                    best = current.copy()
+                yield SearchStep(value, snapshot, 1, 1, 0)
             else:
                 current.assign(operation, original)
+                yield SearchStep(current_value, snapshot, 1, 0, 1)
             temperature *= self.cooling
-        return best

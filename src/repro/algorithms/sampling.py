@@ -6,22 +6,39 @@ each heuristic's deviation from the best sampled execution time and time
 penalty. :class:`SolutionSampler` implements that protocol;
 :class:`RandomMapping` wraps a single uniform draw as a baseline
 algorithm so it can sit in the same figures as the heuristics.
+
+The sampler runs on the shared
+:class:`~repro.algorithms.runtime.SearchRuntime` -- one draw is one
+step -- so the 32 000-draw protocol accepts a
+:class:`~repro.algorithms.runtime.SearchBudget` (deadline, evaluation
+cap) or a cancel token and still returns well-formed statistics over
+the draws actually made (check ``SampleStatistics.report``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from repro.algorithms.base import (
     DeploymentAlgorithm,
     ProblemContext,
     register_algorithm,
 )
+from repro.algorithms.runtime import (
+    CancelToken,
+    SearchBudget,
+    SearchProgress,
+    SearchReport,
+    SearchRuntime,
+    SearchStep,
+)
+from repro.core.clock import Clock
 from repro.core.cost import CostBreakdown, CostModel
 from repro.core.incremental import TableScorer
 from repro.core.mapping import Deployment
 from repro.core.workflow import Workflow
-from repro.exceptions import AlgorithmError, DeploymentError
+from repro.exceptions import DeploymentError
 from repro.network.topology import ServerNetwork
 
 __all__ = ["RandomMapping", "SolutionSampler", "SampleStatistics"]
@@ -47,7 +64,8 @@ class SampleStatistics:
     Attributes
     ----------
     samples:
-        Number of mappings drawn.
+        Number of mappings actually drawn (fewer than requested when a
+        budget or cancellation cut the run short).
     best_objective:
         The best sampled mapping by scalar objective, with its cost.
     best_execution_time:
@@ -58,6 +76,10 @@ class SampleStatistics:
         Minimum fairness penalty observed across all samples.
     worst_objective_value:
         Largest scalar objective seen (for range context in reports).
+    report:
+        The :class:`~repro.algorithms.runtime.SearchReport` of the
+        sampling run (one step per draw); ``report.exhausted`` tells
+        whether the full requested draw count completed.
     """
 
     samples: int
@@ -65,6 +87,7 @@ class SampleStatistics:
     best_execution_time: float
     best_time_penalty: float
     worst_objective_value: float
+    report: SearchReport | None = None
 
     def execution_deviation(self, cost: CostBreakdown) -> float:
         """Relative gap of *cost*'s ``Texecute`` vs the sampled best.
@@ -129,9 +152,7 @@ class SolutionSampler:
     """
 
     def __init__(self, samples: int = PAPER_SAMPLE_COUNT):
-        if samples < 1:
-            raise AlgorithmError("samples must be >= 1")
-        self.samples = samples
+        self.samples = SearchBudget.validate_count("samples", samples)
 
     def run(
         self,
@@ -139,6 +160,10 @@ class SolutionSampler:
         network: ServerNetwork,
         cost_model: CostModel,
         rng,
+        budget: SearchBudget | None = None,
+        cancel: CancelToken | None = None,
+        clock: Clock | None = None,
+        on_progress: Callable[[SearchProgress], None] | None = None,
     ) -> SampleStatistics:
         """Sample and aggregate; *rng* is ``random.Random``-like.
 
@@ -150,33 +175,55 @@ class SolutionSampler:
         ``Deployment.random`` makes, keeping seeded runs byte-identical
         to the full-evaluation protocol; only the single best-objective
         sample is materialised and evaluated in full at the end.
+
+        One draw is one runtime step, so *budget*, *cancel*, *clock*
+        and *on_progress* behave exactly as for
+        :meth:`~repro.algorithms.base.DeploymentAlgorithm.deploy`; the
+        statistics then aggregate the draws actually made.
         """
         operations = workflow.operation_names
         servers = network.server_names
         if not servers:
             raise DeploymentError("network has no servers")
         scorer = TableScorer(cost_model, operations)
-        best_genome: tuple[str, ...] | None = None
-        best_objective = float("inf")
-        best_execution = float("inf")
-        best_penalty = float("inf")
-        worst_objective = float("-inf")
-        for _ in range(self.samples):
-            genome = tuple(rng.choice(servers) for _ in operations)
-            execution, penalty, objective = scorer.components(genome)
-            if best_genome is None or objective < best_objective:
-                best_genome = genome
-                best_objective = objective
-            best_execution = min(best_execution, execution)
-            best_penalty = min(best_penalty, penalty)
-            worst_objective = max(worst_objective, objective)
-        assert best_genome is not None  # samples >= 1
-        best_deployment = Deployment(dict(zip(operations, best_genome)))
+        # per-dimension extrema live outside the generator so the
+        # aggregates survive an early (budget/cancel) stop
+        state = {
+            "drawn": 0,
+            "best_execution": float("inf"),
+            "best_penalty": float("inf"),
+            "worst_objective": float("-inf"),
+        }
+
+        def draws() -> Iterator[SearchStep]:
+            for _ in range(self.samples):
+                genome = tuple(rng.choice(servers) for _ in operations)
+                execution, penalty, objective = scorer.components(genome)
+                state["drawn"] += 1
+                state["best_execution"] = min(
+                    state["best_execution"], execution
+                )
+                state["best_penalty"] = min(state["best_penalty"], penalty)
+                state["worst_objective"] = max(
+                    state["worst_objective"], objective
+                )
+                yield SearchStep(
+                    objective,
+                    lambda g=genome: Deployment(dict(zip(operations, g))),
+                    evals=1,
+                )
+
+        runtime = SearchRuntime(
+            budget=budget, clock=clock, cancel=cancel, on_progress=on_progress
+        )
+        outcome = runtime.run(draws())
+        best_deployment = outcome.best
         best_pair = (best_deployment, cost_model.evaluate(best_deployment))
         return SampleStatistics(
-            samples=self.samples,
+            samples=state["drawn"],
             best_objective=best_pair,
-            best_execution_time=best_execution,
-            best_time_penalty=best_penalty,
-            worst_objective_value=worst_objective,
+            best_execution_time=state["best_execution"],
+            best_time_penalty=state["best_penalty"],
+            worst_objective_value=state["worst_objective"],
+            report=outcome.report,
         )

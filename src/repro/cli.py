@@ -40,6 +40,7 @@ import sys
 from typing import Sequence
 
 from repro.algorithms.base import algorithm_registry, get_algorithm
+from repro.algorithms.runtime import SearchBudget
 from repro.core.analysis import (
     critical_path,
     region_tree,
@@ -73,6 +74,37 @@ __all__ = ["main", "build_parser"]
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
+def _add_budget_arguments(command: argparse.ArgumentParser) -> None:
+    """Attach the anytime-search budget flags shared by deploy/compare."""
+    command.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock budget per search; iterative algorithms return "
+        "their best-so-far deployment when it fires",
+    )
+    command.add_argument(
+        "--max-evals",
+        type=int,
+        default=None,
+        metavar="K",
+        help="objective-evaluation budget per search",
+    )
+
+
+def _budget_from_args(args) -> SearchBudget | None:
+    """A SearchBudget from the CLI flags, or None when none were given."""
+    if args.deadline_ms is None and args.max_evals is None:
+        return None
+    return SearchBudget(
+        max_evals=args.max_evals,
+        deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full argparse tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -118,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="HeavyOps-LargeMsgs", metavar="NAME"
     )
     deploy.add_argument("--seed", type=int, default=0)
+    _add_budget_arguments(deploy)
     deploy.add_argument(
         "--save",
         action="store_true",
@@ -141,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
     )
     compare.add_argument("--seed", type=int, default=0)
+    _add_budget_arguments(compare)
     compare.add_argument(
         "--plot", action="store_true", help="render an ASCII scatter"
     )
@@ -291,8 +325,12 @@ def _cmd_deploy(args) -> int:
     workflow, network, _ = load_instance(args.instance)
     algorithm = get_algorithm(args.algorithm)()
     model = CostModel(workflow, network)
-    deployment = algorithm.deploy(
-        workflow, network, cost_model=model, rng=args.seed
+    deployment, report = algorithm.deploy_with_report(
+        workflow,
+        network,
+        cost_model=model,
+        rng=args.seed,
+        budget=_budget_from_args(args),
     )
     cost = model.evaluate(deployment)
     table = TextTable(
@@ -302,6 +340,8 @@ def _cmd_deploy(args) -> int:
     table.add_row(["time penalty", format_seconds(cost.time_penalty)])
     table.add_row(["objective", format_seconds(cost.objective)])
     print(table)
+    if report is not None:
+        print(f"\nsearch: {report.describe()}")
     print("\nmapping:")
     for server in network.server_names:
         operations = deployment.operations_on(server)
@@ -322,18 +362,22 @@ def _cmd_deploy(args) -> int:
 def _cmd_compare(args) -> int:
     workflow, network, _ = load_instance(args.instance)
     model = CostModel(workflow, network)
+    budget = _budget_from_args(args)
     points: dict[str, list[tuple[float, float]]] = {}
+    searches: list[tuple[str, str]] = []
     table = TextTable(
         ["algorithm", "Texecute", "TimePenalty", "objective"],
         title=f"{workflow.name} on {network.name}",
     )
     for name in args.algorithms:
         algorithm = get_algorithm(name)()
-        deployment = algorithm.deploy(
-            workflow, network, cost_model=model, rng=args.seed
+        deployment, report = algorithm.deploy_with_report(
+            workflow, network, cost_model=model, rng=args.seed, budget=budget
         )
         cost = model.evaluate(deployment)
         points[name] = [(cost.execution_time, cost.time_penalty)]
+        if budget is not None and report is not None:
+            searches.append((name, report.describe()))
         table.add_row(
             [
                 name,
@@ -343,6 +387,8 @@ def _cmd_compare(args) -> int:
             ]
         )
     print(table)
+    for name, described in searches:
+        print(f"search[{name}]: {described}")
     if args.plot:
         print()
         print(ascii_scatter(points, title="execution time vs time penalty"))
@@ -530,9 +576,13 @@ def _cmd_fleet(args) -> int:
 
 
 def _cmd_algorithms(_args) -> int:
-    table = TextTable(["name", "class"], title="registered algorithms")
+    table = TextTable(
+        ["name", "class", "description"], title="registered algorithms"
+    )
     for name, cls in sorted(algorithm_registry().items()):
-        table.add_row([name, f"{cls.__module__}.{cls.__name__}"])
+        doc = (cls.__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else "-"
+        table.add_row([name, f"{cls.__module__}.{cls.__name__}", summary])
     print(table)
     return 0
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.algorithms.base import DeploymentAlgorithm, get_algorithm
+from repro.algorithms.runtime import SearchBudget, SearchReport
 from repro.algorithms.sampling import SolutionSampler
 from repro.core.cost import CostModel
 from repro.core.rng import coerce_rng
@@ -35,13 +36,20 @@ __all__ = ["QualityProtocol", "QualityReport", "DeviationRecord"]
 
 @dataclass(frozen=True)
 class DeviationRecord:
-    """One algorithm's deviations on one experiment instance."""
+    """One algorithm's deviations on one experiment instance.
+
+    ``report`` carries the run's
+    :class:`~repro.algorithms.runtime.SearchReport` (anytime curve,
+    stop reason) for iterative algorithms under a budget; ``None`` for
+    the greedy suite.
+    """
 
     algorithm: str
     experiment: int
     execution_deviation: float
     penalty_deviation: float
     penalty_gap_vs_load: float = 0.0
+    report: SearchReport | None = None
 
 
 @dataclass
@@ -129,6 +137,11 @@ class QualityProtocol:
         Random mappings sampled per instance (paper: 32 000). The
         defaults are scaled down so the protocol runs in seconds; pass
         the paper values for a full-fidelity run.
+    budget:
+        Optional :class:`~repro.algorithms.runtime.SearchBudget`
+        applied to every assessed deploy call (the sampling baseline
+        itself is left unbudgeted -- it defines the reference the
+        deviations are measured against).
     """
 
     def __init__(
@@ -136,6 +149,7 @@ class QualityProtocol:
         algorithms: Sequence[str | DeploymentAlgorithm] = DEFAULT_ALGORITHMS,
         experiments: int = 10,
         samples: int = 2_000,
+        budget: SearchBudget | None = None,
     ):
         if experiments < 1:
             raise ExperimentError("experiments must be >= 1")
@@ -147,6 +161,7 @@ class QualityProtocol:
                 self._algorithms.append((entry, get_algorithm(entry)()))
         self.experiments = experiments
         self.sampler = SolutionSampler(samples)
+        self.budget = budget
 
     def run(self, config: ExperimentConfig) -> QualityReport:
         """Assess the suite on *config*'s instance family."""
@@ -160,8 +175,12 @@ class QualityProtocol:
             )
             for name, algorithm in self._algorithms:
                 rng = coerce_rng(f"{config.seed}:{experiment}:{name}")
-                deployment = algorithm.deploy(
-                    workflow, network, cost_model=cost_model, rng=rng
+                deployment, run_report = algorithm.deploy_with_report(
+                    workflow,
+                    network,
+                    cost_model=cost_model,
+                    rng=rng,
+                    budget=self.budget,
                 )
                 cost = cost_model.evaluate(deployment)
                 report.records.append(
@@ -175,6 +194,7 @@ class QualityProtocol:
                         penalty_gap_vs_load=statistics.penalty_gap_vs_load(
                             cost
                         ),
+                        report=run_report,
                     )
                 )
         return report

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.algorithms.base import DeploymentAlgorithm, get_algorithm
+from repro.algorithms.runtime import SearchBudget, SearchReport
 from repro.core.cost import CostBreakdown, CostModel
 from repro.core.mapping import Deployment
 from repro.core.rng import coerce_rng
@@ -163,12 +164,19 @@ class ExperimentConfig:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One algorithm run on one instance."""
+    """One algorithm run on one instance.
+
+    ``report`` is the run's
+    :class:`~repro.algorithms.runtime.SearchReport` -- evaluation
+    counts, the anytime best-so-far curve and the stop reason -- or
+    ``None`` for non-iterative (greedy) algorithms.
+    """
 
     algorithm: str
     repetition: int
     cost: CostBreakdown
     deployment: Deployment
+    report: SearchReport | None = None
 
 
 @dataclass
@@ -216,6 +224,21 @@ class ExperimentResult:
             raise ExperimentError(f"no records for algorithm {algorithm!r}")
         return sum(r.cost.objective for r in records) / len(records)
 
+    def anytime_curves(self, algorithm: str) -> dict[int, tuple]:
+        """Per-repetition anytime curves of one algorithm.
+
+        Maps repetition index to the ``(step, best_value)`` curve of
+        that run's :class:`~repro.algorithms.runtime.SearchReport`;
+        repetitions whose run produced no report (greedy algorithms)
+        are omitted. The curves are what a budget study plots:
+        objective value reachable within k steps.
+        """
+        return {
+            record.repetition: record.report.curve
+            for record in self.records_for(algorithm)
+            if record.report is not None
+        }
+
     def winner_by_execution(self) -> str:
         """Algorithm with the best mean execution time."""
         return min(self.algorithms(), key=self.mean_execution_time)
@@ -251,11 +274,18 @@ class ExperimentRunner:
         Names (looked up in the registry) or ready instances. Instances
         let callers pass configured variants (e.g. ``LineLine(
         fix_bridges=False)``).
+    budget:
+        Optional :class:`~repro.algorithms.runtime.SearchBudget`
+        applied to every deploy call: iterative algorithms stop at the
+        first binding limit and their best-so-far incumbent is scored.
+        The per-run reports (anytime curves included) land on the
+        :class:`RunRecord`.
     """
 
     def __init__(
         self,
         algorithms: Sequence[str | DeploymentAlgorithm] = DEFAULT_ALGORITHMS,
+        budget: SearchBudget | None = None,
     ):
         if not algorithms:
             raise ExperimentError("at least one algorithm is required")
@@ -265,6 +295,7 @@ class ExperimentRunner:
                 self._algorithms.append((entry.name, entry))
             else:
                 self._algorithms.append((entry, get_algorithm(entry)()))
+        self.budget = budget
 
     @property
     def algorithm_names(self) -> tuple[str, ...]:
@@ -279,8 +310,12 @@ class ExperimentRunner:
             cost_model = CostModel(workflow, network)
             for name, algorithm in self._algorithms:
                 rng = coerce_rng(f"{config.seed}:{repetition}:{name}")
-                deployment = algorithm.deploy(
-                    workflow, network, cost_model=cost_model, rng=rng
+                deployment, report = algorithm.deploy_with_report(
+                    workflow,
+                    network,
+                    cost_model=cost_model,
+                    rng=rng,
+                    budget=self.budget,
                 )
                 result.records.append(
                     RunRecord(
@@ -288,6 +323,7 @@ class ExperimentRunner:
                         repetition=repetition,
                         cost=cost_model.evaluate(deployment),
                         deployment=deployment,
+                        report=report,
                     )
                 )
         return result

@@ -21,18 +21,38 @@ experiment layer already provides:
   :func:`repro.experiments.incremental.adaptation_report`.
 
 Every decision appends one record to the :class:`~repro.service.log.FleetLog`.
-With a deterministic clock (see :class:`StepClock`) an entire run is a
-pure function of the initial fleet and the event list -- replaying a
-seeded scenario twice produces byte-identical logs and metrics.
+With a deterministic clock (see :class:`~repro.core.clock.StepClock`)
+an entire run is a pure function of the initial fleet and the event
+list -- replaying a seeded scenario twice produces byte-identical logs
+and metrics.
+
+Rebalancing and join-spreading run as step generators on the shared
+:class:`~repro.algorithms.runtime.SearchRuntime`: the
+:attr:`FleetConfig.rebalance_budget` bounds them (on top of the churn
+cap), :meth:`FleetController.preempt_rebalance` cancels the one in
+flight at its next step boundary -- e.g. from the
+:attr:`FleetController.on_search_step` progress hook when a surge
+arrives -- and the applied-moves prefix always leaves the fleet
+consistent because every move is only applied after it strictly
+improved the fleet objective.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.algorithms.base import get_algorithm
+from repro.algorithms.runtime import (
+    CancelToken,
+    SearchBudget,
+    SearchProgress,
+    SearchReport,
+    SearchRuntime,
+    SearchStep,
+)
+from repro.core.clock import StepClock
 from repro.core.cost import PENALTY_MODES
 from repro.core.incremental import MoveEvaluator
 from repro.core.rng import coerce_rng
@@ -49,25 +69,9 @@ from repro.service.events import (
 from repro.service.log import FleetLog, FleetMetrics, LogRecord
 from repro.service.state import FleetSnapshot, FleetState, load_penalty
 
+# StepClock lives in repro.core.clock now (the search runtime needs it
+# too); re-exported here because it is part of this module's public API.
 __all__ = ["FleetConfig", "FleetController", "StepClock"]
-
-
-class StepClock:
-    """A deterministic clock: every call advances by a fixed step.
-
-    Injected by scenario replays so that the latency column of the log
-    is reproducible; the default wall clock
-    (:func:`time.perf_counter`) is for benchmarks and live use.
-    """
-
-    def __init__(self, step_s: float = 0.001):
-        self.step_s = step_s
-        self._now = 0.0
-
-    def __call__(self) -> float:
-        """Advance and return the current reading."""
-        self._now += self.step_s
-        return self._now
 
 
 @dataclass(frozen=True)
@@ -90,6 +94,12 @@ class FleetConfig:
     max_moves_per_rebalance:
         Churn bound: at most this many operation moves per rebalance or
         per join-spreading pass.
+    rebalance_budget:
+        Optional :class:`~repro.algorithms.runtime.SearchBudget` on each
+        rebalance / spreading search, on top of the churn bound: an
+        evaluation cap or wall-clock deadline stops the scan at the next
+        step boundary, keeping whatever improving moves were already
+        applied. ``None`` (the default) leaves only the churn bound.
     execution_weight, penalty_weight, penalty_mode:
         Fleet-objective knobs, as in :class:`~repro.core.cost.CostModel`.
     seed:
@@ -101,6 +111,7 @@ class FleetConfig:
     admission_load_limit_s: float | None = None
     drift_threshold: float = 0.35
     max_moves_per_rebalance: int = 4
+    rebalance_budget: SearchBudget | None = None
     execution_weight: float = 0.5
     penalty_weight: float = 0.5
     penalty_mode: str = "mad"
@@ -153,6 +164,28 @@ class FleetController:
         #: on rebalancing / spreading decisions.
         self.evaluations = 0
         self._balance_timeline: list[float] = []
+        #: Optional per-step observer of in-flight rebalance searches
+        #: (receives :class:`~repro.algorithms.runtime.SearchProgress`).
+        #: Runs before the cancellation check, so the hook may call
+        #: :meth:`preempt_rebalance` on the search it is observing.
+        self.on_search_step: Callable[[SearchProgress], None] | None = None
+        #: Report of the most recent rebalance / spreading search.
+        self.last_rebalance_report: SearchReport | None = None
+        self._active_rebalance_cancel: CancelToken | None = None
+
+    def preempt_rebalance(self, reason: str = "") -> bool:
+        """Cancel the rebalance currently in flight, if any.
+
+        Cooperative: the search observes the token at its next step
+        boundary, so the moves already applied (each one strictly
+        improving) are kept and fleet state stays consistent. Returns
+        True when there was a search to preempt.
+        """
+        token = self._active_rebalance_cancel
+        if token is None:
+            return False
+        token.cancel(reason)
+        return True
 
     # ------------------------------------------------------------------
     # event loop
@@ -282,15 +315,15 @@ class FleetController:
             candidates=self._all_operations,
             max_moves=self.config.max_moves_per_rebalance,
         )
-        return (
-            event.server,
-            "joined",
-            {
-                "spread_moves": str(len(moves)),
-                "gain": f"{before - after:.6f}",
-                "servers": str(len(state.network)),
-            },
-        )
+        details = {
+            "spread_moves": str(len(moves)),
+            "gain": f"{before - after:.6f}",
+            "servers": str(len(state.network)),
+        }
+        report = self.last_rebalance_report
+        if report is not None and not report.exhausted:
+            details["stopped"] = report.stop_reason
+        return event.server, "joined", details
 
     def _on_tick(self, event: Tick) -> tuple[str, str, dict[str, str]]:
         snapshot = self.state.snapshot()
@@ -308,17 +341,17 @@ class FleetController:
             candidates=self._busiest_server_operations,
             max_moves=self.config.max_moves_per_rebalance,
         )
-        return (
-            "fleet",
-            "rebalanced",
-            {
-                "drift": f"{drift:.6f}",
-                "churn": str(len(moves)),
-                "objective_before": f"{before:.6f}",
-                "objective_after": f"{after:.6f}",
-                "gain": f"{before - after:.6f}",
-            },
-        )
+        details = {
+            "drift": f"{drift:.6f}",
+            "churn": str(len(moves)),
+            "objective_before": f"{before:.6f}",
+            "objective_after": f"{after:.6f}",
+            "gain": f"{before - after:.6f}",
+        }
+        report = self.last_rebalance_report
+        if report is not None and not report.exhausted:
+            details["stopped"] = report.stop_reason
+        return "fleet", "rebalanced", details
 
     # ------------------------------------------------------------------
     # placement / rebalancing machinery
@@ -395,6 +428,15 @@ class FleetController:
         candidate destination costs a dirty-region forward pass instead
         of the full ``execution_time`` pass the drift rebalancer used to
         pay per candidate.
+
+        The scan runs on the :class:`~repro.algorithms.runtime.
+        SearchRuntime` -- one applied move per step -- under
+        :attr:`FleetConfig.rebalance_budget` and a fresh per-call
+        :class:`~repro.algorithms.runtime.CancelToken` (see
+        :meth:`preempt_rebalance`). Budgets and preemption only ever
+        drop *pending* moves; applied ones already improved the
+        objective, so the fleet is consistent at every step boundary.
+        The runtime's report lands in :attr:`last_rebalance_report`.
         """
         state = self.state
         network = state.network
@@ -422,54 +464,88 @@ class FleetController:
         current = objective(exec_times, loads)
         before = current
         moves: list[tuple[str, str, str, str]] = []
-        for _ in range(max_moves):
-            best: tuple | None = None
-            for tenant, operation in candidates(loads):
-                record = state.tenant(tenant)
-                compiled = state.cost_model(tenant).compiled
-                source = record.deployment.server_of(operation)
-                weighted = compiled.wcycles[compiled.op_index[operation]]
-                destinations = (
-                    targets
-                    if targets is not None
-                    else network.server_names
-                )
-                for target in destinations:
-                    if target == source:
-                        continue
-                    tenant_exec = evaluators[tenant].propose(
-                        operation, target
-                    ).execution_time
-                    trial_loads = dict(loads)
-                    trial_loads[source] -= (
-                        weighted / network.server(source).power_hz
+
+        def steps() -> Iterator[SearchStep]:
+            nonlocal current, loads
+            yield SearchStep(current, lambda: tuple(moves), evals=1)
+            for _ in range(max_moves):
+                best: tuple | None = None
+                scanned = 0
+                for tenant, operation in candidates(loads):
+                    record = state.tenant(tenant)
+                    compiled = state.cost_model(tenant).compiled
+                    source = record.deployment.server_of(operation)
+                    weighted = compiled.wcycles[compiled.op_index[operation]]
+                    destinations = (
+                        targets
+                        if targets is not None
+                        else network.server_names
                     )
-                    trial_loads[target] += (
-                        weighted / network.server(target).power_hz
-                    )
-                    trial_execs = dict(exec_times)
-                    trial_execs[tenant] = tenant_exec
-                    value = objective(trial_execs, trial_loads)
-                    if value < current - 1e-12 and (
-                        best is None or value < best[0]
-                    ):
-                        best = (
-                            value,
-                            tenant,
-                            operation,
-                            source,
-                            target,
-                            tenant_exec,
-                            trial_loads,
+                    for target in destinations:
+                        if target == source:
+                            continue
+                        tenant_exec = evaluators[tenant].propose(
+                            operation, target
+                        ).execution_time
+                        trial_loads = dict(loads)
+                        trial_loads[source] -= (
+                            weighted / network.server(source).power_hz
                         )
-            if best is None:
-                break
-            value, tenant, operation, source, target, tenant_exec, loads = best
-            # apply() assigns into the tenant's live deployment too
-            evaluators[tenant].apply(operation, target)
-            exec_times[tenant] = tenant_exec
-            current = value
-            moves.append((tenant, operation, source, target))
+                        trial_loads[target] += (
+                            weighted / network.server(target).power_hz
+                        )
+                        trial_execs = dict(exec_times)
+                        trial_execs[tenant] = tenant_exec
+                        value = objective(trial_execs, trial_loads)
+                        scanned += 1
+                        if value < current - 1e-12 and (
+                            best is None or value < best[0]
+                        ):
+                            best = (
+                                value,
+                                tenant,
+                                operation,
+                                source,
+                                target,
+                                tenant_exec,
+                                trial_loads,
+                            )
+                if best is None:
+                    yield SearchStep(
+                        current,
+                        lambda: tuple(moves),
+                        evals=scanned,
+                        rejected=scanned,
+                    )
+                    break
+                (value, tenant, operation, source, target,
+                 tenant_exec, new_loads) = best
+                # apply() assigns into the tenant's live deployment too
+                evaluators[tenant].apply(operation, target)
+                exec_times[tenant] = tenant_exec
+                current = value
+                loads = new_loads
+                moves.append((tenant, operation, source, target))
+                yield SearchStep(
+                    current,
+                    lambda: tuple(moves),
+                    evals=scanned,
+                    accepted=1,
+                    rejected=scanned - 1,
+                )
+
+        cancel = CancelToken()
+        self._active_rebalance_cancel = cancel
+        runtime = SearchRuntime(
+            budget=self.config.rebalance_budget,
+            cancel=cancel,
+            on_progress=self.on_search_step,
+        )
+        try:
+            outcome = runtime.run(steps())
+        finally:
+            self._active_rebalance_cancel = None
+        self.last_rebalance_report = outcome.report
         return moves, before, current
 
     # ------------------------------------------------------------------

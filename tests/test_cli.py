@@ -333,3 +333,80 @@ def test_algorithms_lists_registry(capsys):
     out = capsys.readouterr().out
     for name in ("FairLoad", "HeavyOps-LargeMsgs", "BranchAndBound", "Genetic"):
         assert name in out
+
+
+def test_algorithms_lists_class_and_description(capsys):
+    assert main(["algorithms"]) == 0
+    out = capsys.readouterr().out
+    assert "description" in out
+    # class names and the first docstring line ride along with each name
+    assert "SimulatedAnnealing" in out
+    assert "Metropolis search over single-operation moves." in out
+
+
+class TestBudgetFlags:
+    def test_deploy_with_binding_max_evals(self, instance_path, capsys):
+        code = main(
+            [
+                "deploy",
+                "--instance",
+                str(instance_path),
+                "--algorithm",
+                "SimulatedAnnealing",
+                "--max-evals",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "search:" in out
+        assert "stopped: max-evals" in out
+
+    def test_deploy_with_generous_deadline_exhausts(
+        self, instance_path, capsys
+    ):
+        code = main(
+            [
+                "deploy",
+                "--instance",
+                str(instance_path),
+                "--algorithm",
+                "HillClimbing",
+                "--deadline-ms",
+                "60000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stopped: exhausted" in out
+
+    def test_deploy_bad_budget_is_an_error(self, instance_path, capsys):
+        code = main(
+            [
+                "deploy",
+                "--instance",
+                str(instance_path),
+                "--max-evals",
+                "0",
+            ]
+        )
+        assert code == 1
+        assert "max_evals must be >= 1" in capsys.readouterr().err
+
+    def test_compare_reports_budgeted_searches(self, instance_path, capsys):
+        code = main(
+            [
+                "compare",
+                "--instance",
+                str(instance_path),
+                "--algorithms",
+                "SimulatedAnnealing",
+                "HillClimbing",
+                "--max-evals",
+                "25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "search[SimulatedAnnealing]:" in out
+        assert "search[HillClimbing]:" in out
