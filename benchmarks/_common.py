@@ -5,10 +5,16 @@ Every benchmark both *times* its experiment (pytest-benchmark) and
 (visible with ``pytest -s``) and persisted under ``benchmarks/output/``
 so a full ``pytest benchmarks/ --benchmark-only`` run leaves the complete
 set of reproduced figures on disk.
+
+Perf numbers additionally land in machine-readable JSON
+(``output/<name>.json`` via :func:`write_json`, plus a ``.json`` sidecar
+of every :func:`emit` call) so successive PRs can diff the perf
+trajectory instead of parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
@@ -24,8 +30,25 @@ PAPER_QUALITY_ANCHORS = {
 }
 
 
+def write_json(name: str, payload) -> pathlib.Path:
+    """Persist *payload* to ``output/<name>.json``; return the path.
+
+    The machine-readable side of the benchmark outputs: stable key
+    order, indented, trailing newline -- so perf trajectories diff
+    cleanly across runs and PRs.
+    """
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def emit(name: str, *renderables) -> None:
-    """Print tables/strings and persist them to ``output/<name>.txt``."""
+    """Print tables/strings and persist them to ``output/<name>.txt``.
+
+    Also dumps a machine-readable ``output/<name>.json`` sidecar holding
+    the rendered chunks, via :func:`write_json`.
+    """
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     chunks = []
     for renderable in renderables:
@@ -33,4 +56,5 @@ def emit(name: str, *renderables) -> None:
         chunks.append(text)
     body = "\n\n".join(chunks) + "\n"
     (OUTPUT_DIR / f"{name}.txt").write_text(body)
+    write_json(name, {"name": name, "chunks": chunks})
     print(f"\n=== {name} ===\n{body}")

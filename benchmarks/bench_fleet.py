@@ -2,8 +2,9 @@
 
 Replays the built-in ``surge`` scenario -- 200 events against a 20-server
 fleet -- through :class:`~repro.service.controller.FleetController` and
-reports sustained events/second together with the shared-router cache hit
-rate. The numbers land in ``benchmarks/output/fleet_throughput.txt``.
+reports sustained events/second together with the router and cost-model
+cache hit rates. The numbers land in
+``benchmarks/output/fleet_throughput.txt``.
 """
 
 import time
@@ -58,4 +59,8 @@ def bench_fleet_surge_throughput(benchmark):
     )
     emit("fleet_throughput", table)
 
-    assert fresh_metrics.router_hit_rate > 0.5
+    # caching sanity: with batch candidate pricing (the default) route
+    # pairs are materialised into the kernel's delay matrices instead of
+    # being queried per message, so the *cost-model* cache is the hot
+    # path now -- the router hit rate is reported above but not asserted
+    assert fresh_metrics.cost_model_hit_rate > 0.5

@@ -42,6 +42,7 @@ from repro.algorithms.base import (
     register_algorithm,
 )
 from repro.algorithms.runtime import SearchBudget, SearchStep
+from repro.core.compiled import batch_evaluator_or_none
 from repro.core.incremental import MoveEvaluator
 from repro.core.mapping import Deployment
 from repro.exceptions import AlgorithmError
@@ -88,6 +89,17 @@ class HillClimbing(_RefinementBase):
         Price moves with the incremental
         :class:`~repro.core.incremental.MoveEvaluator` (default) or fall
         back to one full ``CostModel.objective()`` per candidate.
+        Ignored when ``sweep="batch"`` takes effect.
+    sweep:
+        ``"scalar"`` (default) scans the neighbourhood one proposal at
+        a time through the paths above. ``"batch"`` scores the whole
+        ``M x S`` single-move grid per iteration in **one**
+        :class:`~repro.core.batch.BatchEvaluator` kernel call --
+        best-improvement with the identical scan order and floats, so
+        seeded results are byte-identical to the scalar sweep -- and
+        falls back to the incremental
+        :class:`~repro.core.incremental.MoveEvaluator` when NumPy is
+        unavailable.
     """
 
     name = "HillClimbing"
@@ -97,19 +109,64 @@ class HillClimbing(_RefinementBase):
         seed_algorithm: DeploymentAlgorithm | None = None,
         max_iterations: int = 1_000,
         use_incremental: bool = True,
+        sweep: str = "scalar",
     ):
         super().__init__(seed_algorithm, use_incremental)
         self.max_iterations = SearchBudget.validate_count(
             "max_iterations", max_iterations
         )
+        if sweep not in ("scalar", "batch"):
+            raise AlgorithmError(
+                f"sweep must be 'scalar' or 'batch', got {sweep!r}"
+            )
+        self.sweep = sweep
 
     def _deploy(self, context: ProblemContext) -> Deployment:
         current = self._starting_mapping(context)
-        if self.use_incremental:
+        batch = None
+        if self.sweep == "batch":
+            batch = batch_evaluator_or_none(context.compiled)
+        if batch is not None:
+            steps = self._steps_batch(context, current, batch)
+        elif self.use_incremental:
             steps = self._steps_incremental(context, current)
         else:
             steps = self._steps_full(context, current)
         return context.search(steps).best
+
+    def _steps_batch(
+        self, context: ProblemContext, current: Deployment, batch
+    ) -> Iterator[SearchStep]:
+        compiled = context.compiled
+        num_servers = compiled.num_servers
+        servers = compiled.server_vector(current)
+        current_value = float(batch.evaluate([servers]).objective[0])
+        yield SearchStep(current_value, current.copy, evals=1)
+        # moves per sweep, excluding the no-op rows of the grid (they
+        # score the incumbent and never win the strict-improvement test)
+        evals = compiled.num_ops * (num_servers - 1)
+        for _ in range(self.max_iterations):
+            scores = batch.evaluate(batch.neighborhood(servers))
+            index = scores.argbest()
+            value = float(scores.objective[index])
+            if not value < current_value:
+                yield SearchStep(
+                    current_value, current.copy, evals=evals, rejected=evals
+                )
+                break
+            operation, server = divmod(index, num_servers)
+            servers[operation] = server
+            current.assign(
+                compiled.op_names[operation], compiled.server_names[server]
+            )
+            current_value = value
+            yield SearchStep(
+                value,
+                current.copy,
+                evals=evals,
+                accepted=1,
+                rejected=evals - 1,
+            )
 
     def _steps_incremental(
         self, context: ProblemContext, current: Deployment

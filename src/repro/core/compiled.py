@@ -52,6 +52,7 @@ from repro.network.topology import ServerNetwork
 __all__ = [
     "CompiledInstance",
     "PENALTY_MODES",
+    "batch_evaluator_or_none",
     "penalty_statistic",
     "JOIN_MAX",
     "JOIN_MIN",
@@ -95,6 +96,23 @@ def penalty_statistic(values: Sequence[float], mode: str) -> float:
         return max(deviations)
     # std
     return math.sqrt(sum(d * d for d in deviations) / len(values))
+
+
+def batch_evaluator_or_none(compiled, enabled: bool = True):
+    """The instance's shared batch evaluator, or ``None`` to go scalar.
+
+    The one fallback idiom every batch consumer shares: returns
+    ``compiled.batch_evaluator()`` when *compiled* is present, *enabled*
+    is true and NumPy imports; returns ``None`` -- meaning "use your
+    scalar path" -- otherwise. Keeps every non-batch code path working
+    without NumPy (see :mod:`repro.core.batch`).
+    """
+    if compiled is None or not enabled:
+        return None
+    try:
+        return compiled.batch_evaluator()
+    except RuntimeError:
+        return None
 
 
 class CompiledInstance:
@@ -321,6 +339,7 @@ class CompiledInstance:
         self._topo_pos: list[int] = topo_pos
         self._dirty: dict[int, tuple[int, ...]] = {}
         self._scopes: dict[int, tuple[int, ...]] | None = None
+        self._batch = None
 
     # ------------------------------------------------------------------
     # index resolution
@@ -357,6 +376,23 @@ class CompiledInstance:
         if coeff is None:
             coeff = ()  # size-dependent pair: router answers per size
         self.routes[source][target] = coeff
+        return coeff
+
+    def route_coefficients(
+        self, source: int, target: int
+    ) -> tuple[float, float] | tuple[()]:
+        """The resolved affine route coefficients of one server pair.
+
+        ``(propagation_s, transfer_s_per_bit)`` for affine pairs, the
+        empty tuple for the rare genuinely size-dependent pairs (price
+        those through the router per size). Resolves the lazy route
+        table slot on first access -- this is the read-through API for
+        consumers (such as the batch kernel) that materialise the table
+        instead of calling :meth:`delay` per message.
+        """
+        coeff = self.routes[source][target]
+        if coeff is None:
+            coeff = self._resolve_route(source, target)
         return coeff
 
     def delay(self, source: int, target: int, size_bits: float) -> float:
@@ -484,6 +520,27 @@ class CompiledInstance:
         for op in range(self.num_ops):
             total += node_prob[op] * tproc[op][servers[op]]
         return total
+
+    # ------------------------------------------------------------------
+    # batched evaluation
+    # ------------------------------------------------------------------
+    def batch_evaluator(self):
+        """The shared :class:`~repro.core.batch.BatchEvaluator`.
+
+        Built lazily on first access and memoised on the artifact, so
+        every batch consumer of this instance -- GA generations, sampler
+        blocks, neighbourhood sweeps, fleet candidate sets -- shares one
+        set of dense delay matrices. Raises ``RuntimeError`` if NumPy is
+        unavailable (see :mod:`repro.core.batch`); callers that must
+        work without NumPy catch it and fall back to scalar pricing.
+        """
+        evaluator = self._batch
+        if evaluator is None:
+            from repro.core.batch import BatchEvaluator
+
+            evaluator = BatchEvaluator(self)
+            self._batch = evaluator
+        return evaluator
 
     # ------------------------------------------------------------------
     # graph regions

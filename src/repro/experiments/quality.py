@@ -24,7 +24,7 @@ from typing import Sequence
 
 from repro.algorithms.base import DeploymentAlgorithm, get_algorithm
 from repro.algorithms.runtime import SearchBudget, SearchReport
-from repro.algorithms.sampling import SolutionSampler
+from repro.algorithms.sampling import DEFAULT_SAMPLE_BLOCK, SolutionSampler
 from repro.core.cost import CostModel
 from repro.core.rng import coerce_rng
 from repro.exceptions import ExperimentError
@@ -142,6 +142,10 @@ class QualityProtocol:
         applied to every assessed deploy call (the sampling baseline
         itself is left unbudgeted -- it defines the reference the
         deviations are measured against).
+    sample_block:
+        Draws the sampling baseline scores per batch kernel call --
+        forwarded to :class:`~repro.algorithms.sampling.SolutionSampler`
+        (results are bit-identical for every block size).
     """
 
     def __init__(
@@ -150,6 +154,7 @@ class QualityProtocol:
         experiments: int = 10,
         samples: int = 2_000,
         budget: SearchBudget | None = None,
+        sample_block: int = DEFAULT_SAMPLE_BLOCK,
     ):
         if experiments < 1:
             raise ExperimentError("experiments must be >= 1")
@@ -160,7 +165,7 @@ class QualityProtocol:
             else:
                 self._algorithms.append((entry, get_algorithm(entry)()))
         self.experiments = experiments
-        self.sampler = SolutionSampler(samples)
+        self.sampler = SolutionSampler(samples, block=sample_block)
         self.budget = budget
 
     def run(self, config: ExperimentConfig) -> QualityReport:

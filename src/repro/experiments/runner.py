@@ -16,6 +16,7 @@ from typing import Sequence
 
 from repro.algorithms.base import DeploymentAlgorithm, get_algorithm
 from repro.algorithms.runtime import SearchBudget, SearchReport
+from repro.algorithms.sampling import SolutionSampler
 from repro.core.cost import CostBreakdown, CostModel
 from repro.core.mapping import Deployment
 from repro.core.rng import coerce_rng
@@ -38,6 +39,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "DEFAULT_ALGORITHMS",
+    "RANDOM_BASELINE",
 ]
 
 #: The algorithm suite of the paper's bus figures, in figure order.
@@ -48,6 +50,10 @@ DEFAULT_ALGORITHMS = (
     "FL-MergeMsgEnds",
     "HeavyOps-LargeMsgs",
 )
+
+#: Label of the best-of-random-samples baseline records (see
+#: ``ExperimentRunner(random_baseline_samples=...)``).
+RANDOM_BASELINE = "RandomBest"
 
 _WORKFLOW_KINDS = ("line", "bushy", "lengthy", "hybrid")
 _NETWORK_KINDS = ("bus", "line")
@@ -280,15 +286,24 @@ class ExperimentRunner:
         first binding limit and their best-so-far incumbent is scored.
         The per-run reports (anytime curves included) land on the
         :class:`RunRecord`.
+    random_baseline_samples:
+        When > 0, each instance additionally gets a
+        :data:`RANDOM_BASELINE` record: the best of this many uniform
+        random mappings, scored in blocks through the shared batch
+        kernel (the scalar path when NumPy is missing). The paper's
+        "best sampled solution" reference as a figure series.
     """
 
     def __init__(
         self,
         algorithms: Sequence[str | DeploymentAlgorithm] = DEFAULT_ALGORITHMS,
         budget: SearchBudget | None = None,
+        random_baseline_samples: int = 0,
     ):
         if not algorithms:
             raise ExperimentError("at least one algorithm is required")
+        if random_baseline_samples < 0:
+            raise ExperimentError("random_baseline_samples must be >= 0")
         self._algorithms: list[tuple[str, DeploymentAlgorithm]] = []
         for entry in algorithms:
             if isinstance(entry, DeploymentAlgorithm):
@@ -296,6 +311,7 @@ class ExperimentRunner:
             else:
                 self._algorithms.append((entry, get_algorithm(entry)()))
         self.budget = budget
+        self.random_baseline_samples = random_baseline_samples
 
     @property
     def algorithm_names(self) -> tuple[str, ...]:
@@ -324,6 +340,24 @@ class ExperimentRunner:
                         cost=cost_model.evaluate(deployment),
                         deployment=deployment,
                         report=report,
+                    )
+                )
+            if self.random_baseline_samples > 0:
+                sampler = SolutionSampler(self.random_baseline_samples)
+                statistics = sampler.run(
+                    workflow,
+                    network,
+                    cost_model,
+                    coerce_rng(f"{config.seed}:{repetition}:random-baseline"),
+                )
+                best_deployment, best_cost = statistics.best_objective
+                result.records.append(
+                    RunRecord(
+                        algorithm=RANDOM_BASELINE,
+                        repetition=repetition,
+                        cost=best_cost,
+                        deployment=best_deployment,
+                        report=statistics.report,
                     )
                 )
         return result

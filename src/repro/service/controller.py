@@ -53,6 +53,7 @@ from repro.algorithms.runtime import (
     SearchStep,
 )
 from repro.core.clock import StepClock
+from repro.core.compiled import batch_evaluator_or_none
 from repro.core.cost import PENALTY_MODES
 from repro.core.incremental import MoveEvaluator
 from repro.core.rng import coerce_rng
@@ -105,6 +106,15 @@ class FleetConfig:
     seed:
         Seed of the controller's private RNG (handed to placement
         algorithms that need random initial mappings).
+    use_batch:
+        Price rebalance / join candidate sets through each tenant's
+        shared :class:`~repro.core.batch.BatchEvaluator` (one kernel
+        call per tenant per round). Decisions and logs are
+        byte-identical either way (only the cache hit/miss counters in
+        the metrics differ, because the two paths touch the caches
+        differently); the scalar
+        :class:`~repro.core.incremental.MoveEvaluator` path is used
+        automatically when NumPy is missing.
     """
 
     algorithm: str = "HeavyOps-LargeMsgs"
@@ -116,6 +126,7 @@ class FleetConfig:
     penalty_weight: float = 0.5
     penalty_mode: str = "mad"
     seed: int = 0
+    use_batch: bool = True
 
     def __post_init__(self) -> None:
         if self.penalty_mode not in PENALTY_MODES:
@@ -423,11 +434,14 @@ class FleetController:
         moves ``(tenant, operation, source, target)`` plus the objective
         before and after -- the churn-vs-gain numbers the log reports.
 
-        Per-tenant execution times are priced through one
-        :class:`~repro.core.incremental.MoveEvaluator` per tenant: a
-        candidate destination costs a dirty-region forward pass instead
-        of the full ``execution_time`` pass the drift rebalancer used to
-        pay per candidate.
+        Per-tenant execution times are priced in bulk through each
+        tenant's shared :class:`~repro.core.batch.BatchEvaluator`: one
+        kernel call per tenant per round scores that tenant's whole
+        candidate set (falling back to the per-candidate dirty-region
+        :class:`~repro.core.incremental.MoveEvaluator` pass when NumPy
+        is unavailable or :attr:`FleetConfig.use_batch` is off -- both
+        paths produce the identical floats, so the applied moves and
+        logs are byte-identical).
 
         The scan runs on the :class:`~repro.algorithms.runtime.
         SearchRuntime` -- one applied move per step -- under
@@ -465,13 +479,58 @@ class FleetController:
         before = current
         moves: list[tuple[str, str, str, str]] = []
 
+        def price_candidates(
+            pairs: list[tuple[str, str]],
+        ) -> dict[tuple[str, str, str], float] | None:
+            """Batch-price tenant execution for every candidate move.
+
+            One kernel call per tenant per round over that tenant's
+            ``(operation, target)`` rows; the kernel's forward pass is
+            bit-identical to the dirty-region proposal it replaces.
+            Returns ``None`` to use the scalar path.
+            """
+            if not self.config.use_batch:
+                return None
+            rows: dict[str, list[list[int]]] = {}
+            keys: dict[str, list[tuple[str, str, str]]] = {}
+            for tenant, operation in pairs:
+                compiled = state.cost_model(tenant).compiled
+                batch = batch_evaluator_or_none(compiled)
+                if batch is None:
+                    return None
+                deployment = state.tenant(tenant).deployment
+                source = deployment.server_of(operation)
+                base = compiled.server_vector(deployment)
+                op = compiled.op_index[operation]
+                destinations = (
+                    targets if targets is not None else network.server_names
+                )
+                for target in destinations:
+                    if target == source:
+                        continue
+                    row = list(base)
+                    row[op] = compiled.server_index[target]
+                    rows.setdefault(tenant, []).append(row)
+                    keys.setdefault(tenant, []).append(
+                        (tenant, operation, target)
+                    )
+            priced: dict[tuple[str, str, str], float] = {}
+            for tenant, tenant_rows in rows.items():
+                compiled = state.cost_model(tenant).compiled
+                scores = compiled.batch_evaluator().evaluate(tenant_rows)
+                for key, execution in zip(keys[tenant], scores.execution):
+                    priced[key] = float(execution)
+            return priced
+
         def steps() -> Iterator[SearchStep]:
             nonlocal current, loads
             yield SearchStep(current, lambda: tuple(moves), evals=1)
             for _ in range(max_moves):
                 best: tuple | None = None
                 scanned = 0
-                for tenant, operation in candidates(loads):
+                pairs = candidates(loads)
+                priced = price_candidates(pairs)
+                for tenant, operation in pairs:
                     record = state.tenant(tenant)
                     compiled = state.cost_model(tenant).compiled
                     source = record.deployment.server_of(operation)
@@ -484,9 +543,12 @@ class FleetController:
                     for target in destinations:
                         if target == source:
                             continue
-                        tenant_exec = evaluators[tenant].propose(
-                            operation, target
-                        ).execution_time
+                        if priced is not None:
+                            tenant_exec = priced[(tenant, operation, target)]
+                        else:
+                            tenant_exec = evaluators[tenant].propose(
+                                operation, target
+                            ).execution_time
                         trial_loads = dict(loads)
                         trial_loads[source] -= (
                             weighted / network.server(source).power_hz

@@ -29,6 +29,21 @@ class TestHillClimbing:
         with pytest.raises(AlgorithmError):
             HillClimbing(max_iterations=0)
 
+    def test_rejects_unknown_sweep(self):
+        with pytest.raises(AlgorithmError):
+            HillClimbing(sweep="bogus")
+
+    def test_batch_sweep_matches_scalar(self, tiny):
+        workflow, network, model = tiny
+        batched = HillClimbing(sweep="batch").deploy(
+            workflow, network, cost_model=model, rng=4
+        )
+        scalar = HillClimbing(sweep="scalar").deploy(
+            workflow, network, cost_model=model, rng=4
+        )
+        assert batched.as_dict() == scalar.as_dict()
+        assert model.objective(batched) == model.objective(scalar)
+
     def test_result_is_a_local_optimum(self, tiny):
         """No single-operation move may improve the returned mapping."""
         workflow, network, model = tiny

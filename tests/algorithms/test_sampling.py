@@ -29,6 +29,32 @@ class TestSolutionSampler:
         with pytest.raises(AlgorithmError):
             SolutionSampler(0)
 
+    def test_rejects_zero_block(self):
+        with pytest.raises(AlgorithmError):
+            SolutionSampler(10, block=0)
+
+    def test_block_size_does_not_change_statistics(
+        self, line3, bus3, cost_line3_bus3
+    ):
+        """Batched block scoring is a pure speed-up, not a semantic change."""
+        results = [
+            SolutionSampler(200, block=block).run(
+                line3, bus3, cost_line3_bus3, random.Random(1)
+            )
+            for block in (1, 7, 64, 1024)
+        ]
+        reference = results[0]
+        for stats in results[1:]:
+            assert stats.samples == reference.samples
+            assert stats.best_execution_time == reference.best_execution_time
+            assert stats.best_time_penalty == reference.best_time_penalty
+            assert stats.worst_objective_value == (
+                reference.worst_objective_value
+            )
+            assert stats.best_objective[0].as_dict() == (
+                reference.best_objective[0].as_dict()
+            )
+
     def test_statistics_fields(self, line3, bus3, cost_line3_bus3):
         stats = SolutionSampler(100).run(
             line3, bus3, cost_line3_bus3, random.Random(1)

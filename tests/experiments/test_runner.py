@@ -6,6 +6,7 @@ from repro.algorithms.fair_load import FairLoad
 from repro.exceptions import ExperimentError
 from repro.experiments.runner import (
     DEFAULT_ALGORITHMS,
+    RANDOM_BASELINE,
     ExperimentConfig,
     ExperimentRunner,
 )
@@ -83,6 +84,33 @@ class TestExperimentRunner:
         for record in result.records:
             assert record.cost.execution_time > 0
             assert record.cost.time_penalty >= 0
+
+    def test_random_baseline_appends_records(self):
+        runner = ExperimentRunner(
+            ["FairLoad"], random_baseline_samples=64
+        )
+        config = ExperimentConfig(
+            num_operations=6, num_servers=3, repetitions=2, seed=3
+        )
+        result = runner.run(config)
+        baseline = [
+            r for r in result.records if r.algorithm == RANDOM_BASELINE
+        ]
+        assert len(baseline) == 2
+        for record in baseline:
+            assert record.deployment is not None
+            assert record.cost.execution_time > 0
+        # the baseline is seeded off (seed, repetition): reruns agree
+        again = runner.run(config)
+        assert [
+            r.cost.objective
+            for r in again.records
+            if r.algorithm == RANDOM_BASELINE
+        ] == [r.cost.objective for r in baseline]
+
+    def test_random_baseline_samples_validated(self):
+        with pytest.raises(ExperimentError):
+            ExperimentRunner(["FairLoad"], random_baseline_samples=-1)
 
     def test_results_reproducible(self):
         runner = ExperimentRunner(["FairLoad", "HeavyOps-LargeMsgs"])
