@@ -20,12 +20,14 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # tiny-parameter smoke run of the move-evaluation, core-perf,
-# runtime-overhead and batch-kernel benches (used by CI): exercises both
-# pricing code paths, the compiled-vs-legacy parity check, the
-# legacy-loop parity of the search runtime and the batch-vs-scalar
-# parity of the vectorized kernel without asserting the perf floors
+# runtime-overhead, batch-kernel and parallel benches (used by CI):
+# exercises both pricing code paths, the compiled-vs-legacy parity
+# check, the legacy-loop parity of the search runtime, the
+# batch-vs-scalar parity of the vectorized kernel, and the 2-worker
+# process pool (islands/portfolio + workers=1 identity) without
+# asserting the perf floors
 bench-smoke:
-	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py benchmarks/bench_core_perf.py benchmarks/bench_runtime.py benchmarks/bench_batch_eval.py --benchmark-disable -q
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py benchmarks/bench_core_perf.py benchmarks/bench_runtime.py benchmarks/bench_batch_eval.py benchmarks/bench_parallel.py --benchmark-disable -q
 
 figures:
 	$(PYTHON) -m repro figures --output benchmarks/output

@@ -15,9 +15,23 @@ trajectory instead of parsing tables.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def perf_floor(name: str, default: float) -> float:
+    """The perf floor asserted by a benchmark, env-tunable per machine.
+
+    ``BENCH_FLOOR_<NAME>`` overrides *default* (set it to ``0`` to turn
+    an assertion into measurement-only). Defaults are chosen to pass on
+    modest CI hardware; the measured values are always recorded in the
+    benchmark's JSON output regardless of the floor, so perf
+    trajectories stay comparable across machines.
+    """
+    raw = os.environ.get(f"BENCH_FLOOR_{name}", "").strip()
+    return float(raw) if raw else default
 
 #: Paper anchor numbers quoted in section 4.2, for side-by-side context
 #: in the quality benchmarks: worst-case (execution, penalty) deviations

@@ -40,6 +40,13 @@ The search runtime (:mod:`repro.algorithms.runtime`)
     :class:`~repro.algorithms.runtime.SearchReport` per run. Pass
     ``budget=`` / ``cancel=`` to any ``deploy`` call, or use
     ``deploy_with_report`` to also get the anytime best-so-far curve.
+
+The parallel layer (:mod:`repro.parallel`)
+    :func:`~repro.parallel.deploy_parallel` shards one algorithm across
+    worker processes (seeded restarts, GA islands, partitioned hill
+    climbing) and :func:`~repro.parallel.race_portfolio` races a
+    portfolio of algorithms under one shared budget; both are
+    re-exported here for convenience.
 """
 
 from repro.algorithms.base import (
@@ -98,4 +105,9 @@ __all__ = [
     "BranchAndBound",
     "GeneticAlgorithm",
     "ConstraintAwareSearch",
+    "deploy_parallel",
+    "race_portfolio",
 ]
+
+# imported last: repro.parallel builds on the registry populated above
+from repro.parallel.api import deploy_parallel, race_portfolio  # noqa: E402

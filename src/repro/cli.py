@@ -66,6 +66,7 @@ from repro.experiments.runner import (
 )
 from repro.io.dot import deployment_to_dot, workflow_to_dot
 from repro.io.json_codec import dump_instance, load_instance
+from repro.parallel.specs import PLAN_KINDS
 from repro.simulation.engine import SimulationEngine
 
 __all__ = ["main", "build_parser"]
@@ -147,10 +148,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     deploy.add_argument("--instance", required=True, metavar="PATH")
     deploy.add_argument(
-        "--algorithm", default="HeavyOps-LargeMsgs", metavar="NAME"
+        "--algorithm",
+        default="HeavyOps-LargeMsgs",
+        metavar="NAME",
+        help="registry name, or NAME@SEED for a seeded refinement "
+        "(e.g. HillClimbing@FL-TieResolver2)",
     )
     deploy.add_argument("--seed", type=int, default=0)
     _add_budget_arguments(deploy)
+    deploy.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the search across N worker processes "
+        "(see also --plan; default: 1, the exact serial run)",
+    )
+    deploy.add_argument(
+        "--plan",
+        choices=PLAN_KINDS,
+        default=None,
+        help="how to shard with --workers: seeded restarts, GA islands, "
+        "or a partitioned cooperative climb (default: per-algorithm)",
+    )
+    deploy.add_argument(
+        "--portfolio",
+        nargs="*",
+        metavar="SPEC",
+        default=None,
+        help="race a portfolio of algorithms under the shared budget "
+        "instead of --algorithm; without SPECs, use the built-in line-up",
+    )
     deploy.add_argument(
         "--save",
         action="store_true",
@@ -175,6 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--seed", type=int, default=0)
     _add_budget_arguments(compare)
+    compare.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run each algorithm's search across N worker processes",
+    )
     compare.add_argument(
         "--plot", action="store_true", help="render an ASCII scatter"
     )
@@ -322,19 +357,38 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_deploy(args) -> int:
+    from repro.parallel import deploy_parallel, race_portfolio
+
     workflow, network, _ = load_instance(args.instance)
-    algorithm = get_algorithm(args.algorithm)()
     model = CostModel(workflow, network)
-    deployment, report = algorithm.deploy_with_report(
-        workflow,
-        network,
-        cost_model=model,
-        rng=args.seed,
-        budget=_budget_from_args(args),
-    )
+    budget = _budget_from_args(args)
+    if args.portfolio is not None:
+        title_name = "portfolio"
+        outcome = race_portfolio(
+            workflow,
+            network,
+            portfolio=args.portfolio or None,
+            cost_model=model,
+            workers=args.workers,
+            seed=args.seed,
+            budget=budget,
+        )
+    else:
+        title_name = args.algorithm
+        outcome = deploy_parallel(
+            args.algorithm,
+            workflow,
+            network,
+            cost_model=model,
+            workers=args.workers,
+            seed=args.seed,
+            budget=budget,
+            plan=args.plan,
+        )
+    deployment, report = outcome.best, outcome.report
     cost = model.evaluate(deployment)
     table = TextTable(
-        ["metric", "value"], title=f"{args.algorithm} on {workflow.name}"
+        ["metric", "value"], title=f"{title_name} on {workflow.name}"
     )
     table.add_row(["execution time", format_seconds(cost.execution_time)])
     table.add_row(["time penalty", format_seconds(cost.time_penalty)])
@@ -342,6 +396,8 @@ def _cmd_deploy(args) -> int:
     print(table)
     if report is not None:
         print(f"\nsearch: {report.describe()}")
+    if outcome.parallel.plan != "serial":
+        print(f"parallel: {outcome.parallel.describe()}")
     print("\nmapping:")
     for server in network.server_names:
         operations = deployment.operations_on(server)
@@ -360,20 +416,32 @@ def _cmd_deploy(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    import time
+
+    from repro.parallel import deploy_parallel
+
     workflow, network, _ = load_instance(args.instance)
     model = CostModel(workflow, network)
     budget = _budget_from_args(args)
     points: dict[str, list[tuple[float, float]]] = {}
     searches: list[tuple[str, str]] = []
     table = TextTable(
-        ["algorithm", "Texecute", "TimePenalty", "objective"],
+        ["algorithm", "Texecute", "TimePenalty", "objective", "wall-clock"],
         title=f"{workflow.name} on {network.name}",
     )
     for name in args.algorithms:
-        algorithm = get_algorithm(name)()
-        deployment, report = algorithm.deploy_with_report(
-            workflow, network, cost_model=model, rng=args.seed, budget=budget
+        started = time.perf_counter()
+        outcome = deploy_parallel(
+            name,
+            workflow,
+            network,
+            cost_model=model,
+            workers=args.workers,
+            seed=args.seed,
+            budget=budget,
         )
+        elapsed = time.perf_counter() - started
+        deployment, report = outcome.best, outcome.report
         cost = model.evaluate(deployment)
         points[name] = [(cost.execution_time, cost.time_penalty)]
         if budget is not None and report is not None:
@@ -384,6 +452,7 @@ def _cmd_compare(args) -> int:
                 format_seconds(cost.execution_time),
                 format_seconds(cost.time_penalty),
                 format_seconds(cost.objective),
+                format_seconds(elapsed),
             ]
         )
     print(table)

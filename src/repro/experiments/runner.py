@@ -271,6 +271,57 @@ class ExperimentResult:
         return table
 
 
+def _run_repetition(job) -> list[RunRecord]:
+    """One repetition's full suite (module-level: picklable for pools).
+
+    Every run's RNG derives from ``f"{seed}:{repetition}:{name}"`` --
+    a pure function of the record's identity, never of scheduling -- so
+    the records are byte-identical whether repetitions run in this
+    process or are fanned out across workers.
+    """
+    config, repetition, algorithms, budget, baseline_samples = job
+    records: list[RunRecord] = []
+    workflow, network = config.instance(repetition)
+    cost_model = CostModel(workflow, network)
+    for name, algorithm in algorithms:
+        rng = coerce_rng(f"{config.seed}:{repetition}:{name}")
+        deployment, report = algorithm.deploy_with_report(
+            workflow,
+            network,
+            cost_model=cost_model,
+            rng=rng,
+            budget=budget,
+        )
+        records.append(
+            RunRecord(
+                algorithm=name,
+                repetition=repetition,
+                cost=cost_model.evaluate(deployment),
+                deployment=deployment,
+                report=report,
+            )
+        )
+    if baseline_samples > 0:
+        sampler = SolutionSampler(baseline_samples)
+        statistics = sampler.run(
+            workflow,
+            network,
+            cost_model,
+            coerce_rng(f"{config.seed}:{repetition}:random-baseline"),
+        )
+        best_deployment, best_cost = statistics.best_objective
+        records.append(
+            RunRecord(
+                algorithm=RANDOM_BASELINE,
+                repetition=repetition,
+                cost=best_cost,
+                deployment=best_deployment,
+                report=statistics.report,
+            )
+        )
+    return records
+
+
 class ExperimentRunner:
     """Run an algorithm suite over the instances of a configuration.
 
@@ -292,6 +343,12 @@ class ExperimentRunner:
         random mappings, scored in blocks through the shared batch
         kernel (the scalar path when NumPy is missing). The paper's
         "best sampled solution" reference as a figure series.
+    workers:
+        When > 1, repetitions are fanned out across that many worker
+        processes (algorithm instances must then be picklable). Results
+        are byte-identical to the serial run: each record's RNG stream
+        is derived from its ``(seed, repetition, algorithm)`` identity
+        and records are collected in repetition order.
     """
 
     def __init__(
@@ -299,11 +356,14 @@ class ExperimentRunner:
         algorithms: Sequence[str | DeploymentAlgorithm] = DEFAULT_ALGORITHMS,
         budget: SearchBudget | None = None,
         random_baseline_samples: int = 0,
+        workers: int = 1,
     ):
         if not algorithms:
             raise ExperimentError("at least one algorithm is required")
         if random_baseline_samples < 0:
             raise ExperimentError("random_baseline_samples must be >= 0")
+        if workers < 1:
+            raise ExperimentError("workers must be >= 1")
         self._algorithms: list[tuple[str, DeploymentAlgorithm]] = []
         for entry in algorithms:
             if isinstance(entry, DeploymentAlgorithm):
@@ -312,6 +372,7 @@ class ExperimentRunner:
                 self._algorithms.append((entry, get_algorithm(entry)()))
         self.budget = budget
         self.random_baseline_samples = random_baseline_samples
+        self.workers = workers
 
     @property
     def algorithm_names(self) -> tuple[str, ...]:
@@ -321,45 +382,27 @@ class ExperimentRunner:
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Execute the full suite on every instance of *config*."""
         result = ExperimentResult(config=config)
-        for repetition in range(config.repetitions):
-            workflow, network = config.instance(repetition)
-            cost_model = CostModel(workflow, network)
-            for name, algorithm in self._algorithms:
-                rng = coerce_rng(f"{config.seed}:{repetition}:{name}")
-                deployment, report = algorithm.deploy_with_report(
-                    workflow,
-                    network,
-                    cost_model=cost_model,
-                    rng=rng,
-                    budget=self.budget,
-                )
-                result.records.append(
-                    RunRecord(
-                        algorithm=name,
-                        repetition=repetition,
-                        cost=cost_model.evaluate(deployment),
-                        deployment=deployment,
-                        report=report,
-                    )
-                )
-            if self.random_baseline_samples > 0:
-                sampler = SolutionSampler(self.random_baseline_samples)
-                statistics = sampler.run(
-                    workflow,
-                    network,
-                    cost_model,
-                    coerce_rng(f"{config.seed}:{repetition}:random-baseline"),
-                )
-                best_deployment, best_cost = statistics.best_objective
-                result.records.append(
-                    RunRecord(
-                        algorithm=RANDOM_BASELINE,
-                        repetition=repetition,
-                        cost=best_cost,
-                        deployment=best_deployment,
-                        report=statistics.report,
-                    )
-                )
+        jobs = [
+            (
+                config,
+                repetition,
+                self._algorithms,
+                self.budget,
+                self.random_baseline_samples,
+            )
+            for repetition in range(config.repetitions)
+        ]
+        if self.workers > 1 and config.repetitions > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, config.repetitions)
+            ) as pool:
+                for records in pool.map(_run_repetition, jobs):
+                    result.records.extend(records)
+        else:
+            for job in jobs:
+                result.records.extend(_run_repetition(job))
         return result
 
     def run_many(

@@ -115,6 +115,15 @@ class FleetConfig:
         differently); the scalar
         :class:`~repro.core.incremental.MoveEvaluator` path is used
         automatically when NumPy is missing.
+    parallel_workers:
+        Opt-in: when > 1, each rebalance round's per-tenant candidate
+        pricing fans out across this many worker processes (one
+        :class:`~repro.parallel.worker.PricingTask` per tenant, served
+        by a pool the controller keeps across rounds -- call
+        :meth:`FleetController.close` when done). The workers run the
+        same batch kernel, so the priced floats -- and therefore the
+        applied moves and the decision log -- are byte-identical to the
+        serial path. Requires ``use_batch``.
     """
 
     algorithm: str = "HeavyOps-LargeMsgs"
@@ -127,6 +136,7 @@ class FleetConfig:
     penalty_mode: str = "mad"
     seed: int = 0
     use_batch: bool = True
+    parallel_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.penalty_mode not in PENALTY_MODES:
@@ -138,6 +148,13 @@ class FleetConfig:
             raise ServiceError("drift_threshold must lie in [0, 1]")
         if self.max_moves_per_rebalance < 0:
             raise ServiceError("max_moves_per_rebalance must be >= 0")
+        if self.parallel_workers < 1:
+            raise ServiceError("parallel_workers must be >= 1")
+        if self.parallel_workers > 1 and not self.use_batch:
+            raise ServiceError(
+                "parallel_workers requires use_batch (workers price "
+                "through the batch kernel)"
+            )
 
 
 class FleetController:
@@ -183,6 +200,29 @@ class FleetController:
         #: Report of the most recent rebalance / spreading search.
         self.last_rebalance_report: SearchReport | None = None
         self._active_rebalance_cancel: CancelToken | None = None
+        self._pricing_runtime = None
+
+    def close(self) -> None:
+        """Release the pricing worker pool, if one was started."""
+        if self._pricing_runtime is not None:
+            self._pricing_runtime.close()
+            self._pricing_runtime = None
+
+    def __enter__(self) -> "FleetController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pricing_pool(self):
+        """The lazily started pricing runtime (parallel_workers > 1)."""
+        if self._pricing_runtime is None:
+            from repro.parallel.runtime import ParallelRuntime
+
+            self._pricing_runtime = ParallelRuntime(
+                self.config.parallel_workers
+            )
+        return self._pricing_runtime
 
     def preempt_rebalance(self, reason: str = "") -> bool:
         """Cancel the rebalance currently in flight, if any.
@@ -515,6 +555,36 @@ class FleetController:
                         (tenant, operation, target)
                     )
             priced: dict[tuple[str, str, str], float] = {}
+            if self.config.parallel_workers > 1 and len(rows) > 1:
+                # one PricingTask per tenant, fanned across the pool;
+                # same kernel in every worker, so the floats (and the
+                # moves chosen from them) match the serial loop below
+                from repro.parallel.worker import (
+                    PricingTask,
+                    payload_from,
+                    run_pricing_task,
+                )
+
+                tenants = list(rows)
+                tasks = [
+                    PricingTask(
+                        index=position,
+                        payload=payload_from(
+                            state.tenant(tenant).workflow,
+                            network,
+                            state.cost_model(tenant),
+                        ),
+                        rows=tuple(tuple(row) for row in rows[tenant]),
+                    )
+                    for position, tenant in enumerate(tenants)
+                ]
+                executions = self._pricing_pool().map_plain(
+                    run_pricing_task, tasks
+                )
+                for tenant, tenant_execs in zip(tenants, executions):
+                    for key, execution in zip(keys[tenant], tenant_execs):
+                        priced[key] = float(execution)
+                return priced
             for tenant, tenant_rows in rows.items():
                 compiled = state.cost_model(tenant).compiled
                 scores = compiled.batch_evaluator().evaluate(tenant_rows)

@@ -1,0 +1,52 @@
+"""Deterministic per-worker RNG spawning."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rng import DEFAULT_SEED
+from repro.exceptions import AlgorithmError
+from repro.parallel.rng import require_spawnable_seed, spawn_rng, spawn_seed
+
+
+def test_spawn_seed_joins_structural_path():
+    assert spawn_seed(7, "worker", 3) == "7:worker:3"
+    assert spawn_seed(7, "island", 2, "round", 5) == "7:island:2:round:5"
+
+
+def test_spawn_seed_none_uses_library_default():
+    assert spawn_seed(None, "worker", 0) == f"{DEFAULT_SEED}:worker:0"
+
+
+def test_sibling_positions_get_distinct_streams():
+    a = spawn_rng(7, "worker", 0)
+    b = spawn_rng(7, "worker", 1)
+    assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+
+def test_same_position_reproduces_the_stream():
+    first = [spawn_rng(7, "worker", 2).random() for _ in range(4)]
+    second = [spawn_rng(7, "worker", 2).random() for _ in range(4)]
+    assert first == second
+
+
+def test_extension_stability():
+    """Adding workers never perturbs existing positions' seeds."""
+    assert spawn_seed(7, "worker", 0) == spawn_seed(7, "worker", 0)
+    eight = [spawn_seed(7, "worker", i) for i in range(8)]
+    four = [spawn_seed(7, "worker", i) for i in range(4)]
+    assert eight[:4] == four
+
+
+def test_live_random_rejected():
+    with pytest.raises(AlgorithmError):
+        require_spawnable_seed(random.Random(1))
+    with pytest.raises(AlgorithmError):
+        spawn_seed(random.Random(1), "worker", 0)
+
+
+def test_plain_seeds_pass_through():
+    assert require_spawnable_seed(42) == 42
+    assert require_spawnable_seed("tag") == "tag"

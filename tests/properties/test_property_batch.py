@@ -16,6 +16,7 @@ The determinism contract of the vectorized
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -165,18 +166,31 @@ def test_seeded_sampler_identical_through_batch(size, servers, seed, structure):
 def test_seeded_hill_climbing_identical_through_batch(
     size, servers, seed, structure
 ):
+    # the kernel's exact twin is *full* evaluation (it replicates the
+    # scalar IEEE operation order); the incremental MoveEvaluator path
+    # only promises 1e-9-approx values, so its accumulated ULP drift
+    # can legitimately flip a last-ULP accept/reject decision -- it is
+    # compared on objective quality below, not on the exact trajectory
     workflow = make_workflow(size, seed, structure)
     network = random_bus_network(servers, seed=seed + 1)
     model = CostModel(workflow, network)
     kwargs = dict(max_iterations=30)
     rng_batch = random.Random(seed)
     rng_scalar = random.Random(seed)
+    rng_incremental = random.Random(seed)
     batched = HillClimbing(sweep="batch", **kwargs).deploy(
         workflow, network, cost_model=model, rng=rng_batch
     )
-    scalar = HillClimbing(sweep="scalar", **kwargs).deploy(
-        workflow, network, cost_model=model, rng=rng_scalar
+    scalar = HillClimbing(
+        sweep="scalar", use_incremental=False, **kwargs
+    ).deploy(workflow, network, cost_model=model, rng=rng_scalar)
+    incremental = HillClimbing(sweep="scalar", **kwargs).deploy(
+        workflow, network, cost_model=model, rng=rng_incremental
     )
     assert batched.as_dict() == scalar.as_dict()
     assert model.objective(batched) == model.objective(scalar)
     assert rng_batch.getstate() == rng_scalar.getstate()
+    assert rng_batch.getstate() == rng_incremental.getstate()
+    assert model.objective(incremental) == pytest.approx(
+        model.objective(batched), abs=1e-9
+    )
