@@ -27,7 +27,7 @@ bench:
 # process pool (islands/portfolio + workers=1 identity) without
 # asserting the perf floors
 bench-smoke:
-	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py benchmarks/bench_core_perf.py benchmarks/bench_runtime.py benchmarks/bench_batch_eval.py benchmarks/bench_parallel.py --benchmark-disable -q
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py benchmarks/bench_core_perf.py benchmarks/bench_runtime.py benchmarks/bench_batch_eval.py benchmarks/bench_parallel.py benchmarks/bench_service_queue.py --benchmark-disable -q
 
 figures:
 	$(PYTHON) -m repro figures --output benchmarks/output

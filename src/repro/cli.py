@@ -22,9 +22,15 @@ Commands
     Structural statistics, region tree and (for deployed instances) the
     critical path.
 ``fleet``
-    Replay a scripted multi-tenant fleet scenario through the
-    :class:`~repro.service.controller.FleetController` and print the
-    metrics table (and optionally the full decision log).
+    The fleet service tier. ``repro fleet`` (or ``repro fleet replay``)
+    replays a scripted multi-tenant scenario through the
+    :class:`~repro.service.controller.FleetController` and prints the
+    metrics table; ``repro fleet checkpoint`` writes a durable
+    checkpoint (optionally stopping mid-scenario, remaining events
+    stored as pending); ``repro fleet restore`` rebuilds a controller
+    from a checkpoint with replay verification (``--resume`` also
+    processes the pending events); ``repro fleet serve`` runs the
+    stdlib REST façade over a priority work queue.
 ``algorithms``
     List every registered deployment algorithm.
 
@@ -309,7 +315,15 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.service.scenarios import builtin_scenarios
 
     fleet = commands.add_parser(
-        "fleet", help="replay a scripted fleet scenario end-to-end"
+        "fleet",
+        help="replay, checkpoint, restore, or serve a fleet scenario",
+    )
+    fleet.add_argument(
+        "action",
+        nargs="?",
+        default="replay",
+        choices=("replay", "checkpoint", "restore", "serve"),
+        help="what to do with the fleet (default: replay)",
     )
     fleet.add_argument(
         "--scenario",
@@ -328,6 +342,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--log",
         action="store_true",
         help="also print the full fleet decision log",
+    )
+    fleet.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file to write (checkpoint action) or read "
+        "(restore/serve actions)",
+    )
+    fleet.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint action: process only the first N scenario "
+        "events; the rest are stored as pending",
+    )
+    fleet.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore action: also process the checkpoint's pending "
+        "events after the verified restore",
+    )
+    fleet.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve action: bind address (default: 127.0.0.1)",
+    )
+    fleet.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="serve action: bind port (default: 0, pick a free port)",
     )
 
     commands.add_parser("algorithms", help="list registered algorithms")
@@ -613,6 +660,16 @@ def _cmd_claims(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
+    dispatch = {
+        "replay": _fleet_replay,
+        "checkpoint": _fleet_checkpoint,
+        "restore": _fleet_restore,
+        "serve": _fleet_serve,
+    }
+    return dispatch[args.action](args)
+
+
+def _fleet_replay(args) -> int:
     from repro.service.scenarios import build_scenario, replay
 
     scenario = build_scenario(
@@ -641,6 +698,106 @@ def _cmd_fleet(args) -> int:
         table.add_row([server, format_seconds(load)])
     print()
     print(table)
+    return 0
+
+
+def _require_checkpoint_path(args, action: str) -> str:
+    from repro.exceptions import ServiceError
+
+    if not args.checkpoint:
+        raise ServiceError(
+            f"fleet {action} needs --checkpoint PATH"
+        )
+    return args.checkpoint
+
+
+def _fleet_checkpoint(args) -> int:
+    from repro.core.clock import StepClock
+    from repro.exceptions import ServiceError
+    from repro.service.controller import FleetController
+    from repro.service.scenarios import build_scenario
+
+    path = _require_checkpoint_path(args, "checkpoint")
+    scenario = build_scenario(
+        args.scenario, seed=args.seed, algorithm=args.algorithm
+    )
+    events = scenario.events
+    cut = len(events) if args.stop_after is None else args.stop_after
+    if not 0 <= cut <= len(events):
+        raise ServiceError(
+            f"--stop-after {cut} is outside the scenario's "
+            f"0..{len(events)} events"
+        )
+    controller = FleetController(
+        scenario.network, config=scenario.config, clock=StepClock()
+    )
+    for event in events[:cut]:
+        controller.handle(event)
+    written = controller.checkpoint(path, pending=events[cut:])
+    print(
+        f"checkpoint written to {written}: scenario {scenario.name!r} "
+        f"(seed {args.seed}), {cut} events processed, "
+        f"{len(events) - cut} pending"
+    )
+    return 0
+
+
+def _fleet_restore(args) -> int:
+    from repro.service.checkpoint import restore_controller
+
+    path = _require_checkpoint_path(args, "restore")
+    controller, pending = restore_controller(path)
+    print(
+        f"restored {path}: {len(controller.history)} events replayed "
+        f"and verified, {len(pending)} pending"
+    )
+    if args.resume and pending:
+        for event in pending:
+            controller.handle(event)
+        print(f"resumed: processed {len(pending)} pending events")
+    if args.log:
+        print()
+        print(controller.log.to_table())
+    print()
+    print(controller.metrics().to_table())
+    return 0
+
+
+def _fleet_serve(args) -> int:
+    from repro.core.clock import StepClock
+    from repro.service.checkpoint import restore_controller
+    from repro.service.controller import FleetController
+    from repro.service.queue import FleetService
+    from repro.service.scenarios import build_scenario
+    from repro.service.server import FleetApp, make_server
+
+    if args.checkpoint:
+        controller, pending = restore_controller(args.checkpoint)
+        origin = f"checkpoint {args.checkpoint}"
+    else:
+        scenario = build_scenario(
+            args.scenario, seed=args.seed, algorithm=args.algorithm
+        )
+        controller = FleetController(
+            scenario.network, config=scenario.config, clock=StepClock()
+        )
+        pending = scenario.events
+        origin = f"scenario {scenario.name!r} (seed {args.seed})"
+    service = FleetService(controller)
+    for event in pending:
+        service.submit(event)
+    server = make_server(FleetApp(service), host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"fleet service from {origin} on http://{host}:{port} "
+        f"({service.queue.pending} queued jobs); Ctrl-C stops"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
     return 0
 
 

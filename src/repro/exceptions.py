@@ -98,3 +98,13 @@ class ConstraintViolationError(DeploymentError):
 
 class ServiceError(ReproError):
     """The fleet controller was misused or a scenario is invalid."""
+
+
+class ValidationError(ReproError):
+    """A persisted document or parameter set failed validation.
+
+    Raised by the durable-service layer when a checkpoint file is
+    missing, malformed, truncated, or fails its replay verification --
+    anywhere the problem is "the data handed to us is bad" rather than
+    "the API was misused" (:class:`ServiceError`).
+    """

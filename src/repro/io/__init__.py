@@ -18,6 +18,8 @@ from repro.io.json_codec import (
     deployment_from_dict,
     dump_instance,
     load_instance,
+    dump_document,
+    load_document,
 )
 from repro.io.dot import workflow_to_dot, network_to_dot, deployment_to_dot
 
@@ -30,6 +32,8 @@ __all__ = [
     "deployment_from_dict",
     "dump_instance",
     "load_instance",
+    "dump_document",
+    "load_document",
     "workflow_to_dot",
     "network_to_dot",
     "deployment_to_dot",

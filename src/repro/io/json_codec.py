@@ -32,6 +32,8 @@ __all__ = [
     "deployment_from_dict",
     "dump_instance",
     "load_instance",
+    "dump_document",
+    "load_document",
 ]
 
 FORMAT_VERSION = 1
@@ -198,6 +200,48 @@ def deployment_from_dict(document: Mapping[str, Any]) -> Deployment:
 
 
 # ----------------------------------------------------------------------
+# on-disk documents
+# ----------------------------------------------------------------------
+def dump_document(path: str | Path, document: Mapping[str, Any]) -> Path:
+    """Write *document* to *path* in the library's canonical JSON form.
+
+    Canonical means sorted keys, two-space indent and a trailing
+    newline -- every persisted artifact (instance bundles, fleet
+    checkpoints) diffs cleanly and byte-identically regardless of the
+    writer's dict insertion order.
+    """
+    target = Path(path)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    return target
+
+
+def load_document(
+    path: str | Path, expected: str | None = None
+) -> dict[str, Any]:
+    """Read a JSON document; optionally check its ``format`` field.
+
+    Missing files and malformed JSON both raise :class:`CodecError`
+    (with the path in the message), so callers never see a raw
+    ``OSError``/``JSONDecodeError`` traceback for a bad file argument.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise CodecError(f"{path}: cannot read ({exc})") from None
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(document, dict):
+        raise CodecError(f"{path}: expected a JSON object at top level")
+    if expected is not None:
+        _check_format(document, expected)
+    return document
+
+
+# ----------------------------------------------------------------------
 # problem-instance bundles
 # ----------------------------------------------------------------------
 def dump_instance(
@@ -215,18 +259,14 @@ def dump_instance(
     }
     if deployment is not None:
         document["deployment"] = deployment_to_dict(deployment)
-    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+    dump_document(path, document)
 
 
 def load_instance(
     path: str | Path,
 ) -> tuple[Workflow, ServerNetwork, Deployment | None]:
     """Read a bundle written by :func:`dump_instance`."""
-    try:
-        document = json.loads(Path(path).read_text())
-    except json.JSONDecodeError as exc:
-        raise CodecError(f"{path}: not valid JSON ({exc})") from None
-    _check_format(document, "instance")
+    document = load_document(path, "instance")
     workflow = workflow_from_dict(_require(document, "workflow", "instance"))
     network = network_from_dict(_require(document, "network", "instance"))
     deployment = None

@@ -242,8 +242,12 @@ class WorkerBridge:
     ``target_value``, and (c) propagates any shared stop into the
     worker's local :class:`~repro.algorithms.runtime.CancelToken` --
     ledger reads are paid only at flush boundaries, so cheap steps stay
-    cheap. Call :meth:`finish` after the search returns to flush the
-    tail delta.
+    cheap. Call :meth:`finish` -- in a ``try/finally`` around the
+    search -- to flush the tail delta: on the success path pass the
+    report's exact total, on an exception path call it with no
+    arguments and the evaluations seen by the last progress callback
+    are flushed instead, so a crashed worker never under-counts the
+    shared ledger by more than the steps after its final callback.
     """
 
     def __init__(
@@ -262,8 +266,10 @@ class WorkerBridge:
         self.target_value = target_value
         self.chain = chain
         self._reported = 0
+        self._seen = 0
 
     def __call__(self, progress: SearchProgress) -> None:
+        self._seen = max(self._seen, progress.evaluations)
         if self.chain is not None:
             self.chain(progress)
         if (
@@ -281,11 +287,24 @@ class WorkerBridge:
             if self.ledger.stop_requested:
                 self.cancel.cancel(self.ledger.stop_reason)
 
-    def finish(self, total_evaluations: int) -> None:
-        """Flush the evaluations accumulated since the last batch."""
-        pending = total_evaluations - self._reported
+    def finish(self, total_evaluations: int | None = None) -> None:
+        """Flush the evaluations accumulated since the last batch.
+
+        With no argument (the exception path) the count the last
+        progress callback reported is flushed; an explicit total (the
+        report's exact figure, which may exceed the last callback's on
+        generators that evaluate between yields) takes precedence when
+        larger. Idempotent: a ``finally`` clause may call it after the
+        success path already has.
+        """
+        total = (
+            self._seen
+            if total_evaluations is None
+            else max(total_evaluations, self._seen)
+        )
+        pending = total - self._reported
         if pending > 0:
-            self._reported = total_evaluations
+            self._reported = total
             self.ledger.record(pending)
 
 

@@ -220,16 +220,21 @@ def run_search_task(
     cancel, bridge = _bridged_cancel(
         ledger, task.flush_every, task.target_value
     )
-    deployment, report = algorithm.deploy_with_report(
-        workflow,
-        network,
-        cost_model=model,
-        rng=coerce_rng(task.seed),
-        budget=task.budget,
-        cancel=cancel,
-        clock=clock,
-        on_progress=bridge,
-    )
+    try:
+        deployment, report = algorithm.deploy_with_report(
+            workflow,
+            network,
+            cost_model=model,
+            rng=coerce_rng(task.seed),
+            budget=task.budget,
+            cancel=cancel,
+            clock=clock,
+            on_progress=bridge,
+        )
+    finally:
+        # flush even when the search raises: the ledger must account
+        # for the evaluations a crashed worker already spent
+        bridge.finish()
     if report is not None:
         bridge.finish(report.evaluations)
     value = model.objective(deployment)
@@ -312,16 +317,20 @@ def run_island_task(
     cancel, bridge = _bridged_cancel(
         ledger, task.flush_every, task.target_value
     )
-    deployment, report = algorithm.deploy_with_report(
-        workflow,
-        network,
-        cost_model=model,
-        rng=coerce_rng(task.seed),
-        budget=task.budget,
-        cancel=cancel,
-        clock=clock,
-        on_progress=bridge,
-    )
+    try:
+        deployment, report = algorithm.deploy_with_report(
+            workflow,
+            network,
+            cost_model=model,
+            rng=coerce_rng(task.seed),
+            budget=task.budget,
+            cancel=cancel,
+            clock=clock,
+            on_progress=bridge,
+        )
+    finally:
+        # a crashed island must still account for its spent evaluations
+        bridge.finish()
     bridge.finish(report.evaluations)
     value = model.objective(deployment)
     if task.target_value is not None and value <= task.target_value:
@@ -394,24 +403,28 @@ def run_partition_scan(
     best_value = current_value
     evaluations = 0
     unflushed = 0
-    for op in task.operations:
-        if ledger.stop_requested:
-            break
-        original = task.servers[op]
-        operation_name = op_names[op]
-        for server, server_name in enumerate(server_names):
-            if server == original:
-                continue
-            value = evaluator.propose_value(operation_name, server_name)
-            evaluations += 1
-            unflushed += 1
-            if value < best_value:
-                best_value = value
-                best_move = (op, server)
-        if unflushed >= task.flush_every:
-            ledger.record(unflushed)
-            unflushed = 0
-    ledger.record(unflushed)
+    try:
+        for op in task.operations:
+            if ledger.stop_requested:
+                break
+            original = task.servers[op]
+            operation_name = op_names[op]
+            for server, server_name in enumerate(server_names):
+                if server == original:
+                    continue
+                value = evaluator.propose_value(operation_name, server_name)
+                evaluations += 1
+                unflushed += 1
+                if value < best_value:
+                    best_value = value
+                    best_move = (op, server)
+            if unflushed >= task.flush_every:
+                ledger.record(unflushed)
+                unflushed = 0
+    finally:
+        # the tail delta must land even when a proposal raises, or the
+        # global accounting under-counts after a crashed worker
+        ledger.record(unflushed)
     return PartitionResult(
         index=task.index,
         evaluations=evaluations,

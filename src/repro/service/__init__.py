@@ -20,8 +20,25 @@ Modules
 :mod:`repro.service.scenarios`
     Seeded builtin scenarios and the replay driver behind
     ``repro fleet``.
+:mod:`repro.service.queue`
+    The priority work queue and the :class:`FleetService` façade --
+    submit events, reprioritize queued-but-unstarted jobs, drain.
+:mod:`repro.service.checkpoint`
+    Durable checkpoints: verified serialise/replay/restore of a
+    controller (plus any still-pending events).
+:mod:`repro.service.server`
+    The stdlib-only REST façade (``FleetApp`` + ``make_server``).
+:mod:`repro.service.sharding`
+    :class:`ShardRouter`: tenants hashed across N controller shards
+    with per-shard rebalance budgets.
 """
 
+from repro.service.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    restore_controller,
+    write_checkpoint,
+)
 from repro.service.controller import FleetConfig, FleetController, StepClock
 from repro.service.events import (
     DeployRequest,
@@ -31,13 +48,23 @@ from repro.service.events import (
     Tick,
     UndeployRequest,
 )
-from repro.service.log import FleetLog, FleetMetrics, LogRecord
+from repro.service.log import FleetLog, FleetMetrics, LogRecord, format_detail
+from repro.service.queue import (
+    DEFAULT_PRIORITIES,
+    DRIFT_PRIORITY,
+    PREEMPT_PRIORITY,
+    FleetService,
+    Job,
+    WorkQueue,
+)
 from repro.service.scenarios import (
     Scenario,
     build_scenario,
     builtin_scenarios,
     replay,
 )
+from repro.service.server import FleetApp, make_server
+from repro.service.sharding import ShardRouter, shard_for
 from repro.service.state import (
     FleetSnapshot,
     FleetState,
@@ -48,26 +75,41 @@ from repro.service.state import (
 )
 
 __all__ = [
+    "Checkpoint",
+    "DEFAULT_PRIORITIES",
+    "DRIFT_PRIORITY",
     "DeployRequest",
+    "FleetApp",
     "FleetConfig",
     "FleetController",
     "FleetEvent",
     "FleetLog",
     "FleetMetrics",
+    "FleetService",
     "FleetSnapshot",
     "FleetState",
     "InstrumentedRouter",
+    "Job",
     "LogRecord",
+    "PREEMPT_PRIORITY",
     "Scenario",
     "ServerFailed",
     "ServerJoined",
+    "ShardRouter",
     "StepClock",
     "TenantDeployment",
     "Tick",
     "UndeployRequest",
+    "WorkQueue",
     "build_scenario",
     "builtin_scenarios",
+    "format_detail",
     "jain_index",
+    "load_checkpoint",
     "load_penalty",
+    "make_server",
     "replay",
+    "restore_controller",
+    "shard_for",
+    "write_checkpoint",
 ]

@@ -67,7 +67,7 @@ from repro.service.events import (
     Tick,
     UndeployRequest,
 )
-from repro.service.log import FleetLog, FleetMetrics, LogRecord
+from repro.service.log import FleetLog, FleetMetrics, LogRecord, format_detail
 from repro.service.state import FleetSnapshot, FleetState, load_penalty
 
 # StepClock lives in repro.core.clock now (the search runtime needs it
@@ -179,6 +179,11 @@ class FleetController:
         clock: Callable[[], float] | None = None,
     ):
         self.config = config or FleetConfig()
+        # captured before any event mutates the network: checkpointing
+        # replays the event history against this initial fleet
+        from repro.io.json_codec import network_to_dict
+
+        self._initial_network_doc = network_to_dict(network)
         self.state = FleetState(
             network,
             execution_weight=self.config.execution_weight,
@@ -186,6 +191,9 @@ class FleetController:
             penalty_mode=self.config.penalty_mode,
         )
         self.log = FleetLog()
+        #: Every event handled so far, in order -- the append-only
+        #: event log that checkpoint/restore replays.
+        self.history: list[FleetEvent] = []
         self._clock = clock if clock is not None else time.perf_counter
         self._rng = coerce_rng(self.config.seed)
         #: Deterministic work counter: fleet-objective evaluations spent
@@ -243,6 +251,7 @@ class FleetController:
     # ------------------------------------------------------------------
     def handle(self, event: FleetEvent) -> LogRecord:
         """Process one event; append and return its log record."""
+        self.history.append(event)
         start = self._clock()
         if isinstance(event, DeployRequest):
             subject, action, details = self._on_deploy(event)
@@ -259,8 +268,8 @@ class FleetController:
                 f"unknown fleet event type {type(event).__name__!r}"
             )
         snapshot = self.state.snapshot()
-        details["objective"] = f"{snapshot.objective:.6f}"
-        details["balance"] = f"{snapshot.balance_index:.4f}"
+        details["objective"] = format_detail(snapshot.objective)
+        details["balance"] = format_detail(snapshot.balance_index)
         latency = self._clock() - start
         self._balance_timeline.append(snapshot.balance_index)
         return self.log.append(event.kind, subject, action, latency, details)
@@ -274,6 +283,47 @@ class FleetController:
     def snapshot(self) -> FleetSnapshot:
         """The current aggregate fleet snapshot."""
         return self.state.snapshot()
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def initial_network_doc(self) -> dict:
+        """The JSON document of the fleet as first constructed."""
+        return self._initial_network_doc
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        """The controller's clock (checkpointing serialises StepClocks)."""
+        return self._clock
+
+    def checkpoint(self, path, pending: Sequence[FleetEvent] = ()):
+        """Write a durable checkpoint of this controller to *path*.
+
+        *pending* optionally records not-yet-processed events (e.g. the
+        queued remainder of a scenario) so a restore can resume them.
+        See :mod:`repro.service.checkpoint` for the format.
+        """
+        from repro.service.checkpoint import write_checkpoint
+
+        return write_checkpoint(self, path, pending=pending)
+
+    @classmethod
+    def restore(cls, path) -> "FleetController":
+        """Rebuild a controller from a checkpoint written by
+        :meth:`checkpoint`.
+
+        The event history is replayed from the initial fleet under a
+        fresh deterministic clock and the result is verified against
+        the checkpointed decision log and snapshot -- byte-identical
+        state reproduction, enforced, not assumed. Use
+        :func:`repro.service.checkpoint.restore_controller` to also get
+        the pending events back.
+        """
+        from repro.service.checkpoint import restore_controller
+
+        controller, _ = restore_controller(path)
+        return controller
 
     # ------------------------------------------------------------------
     # handlers
@@ -294,8 +344,8 @@ class FleetController:
                 "rejected",
                 {
                     "reason": "capacity",
-                    "projected_load": f"{projected:.6f}",
-                    "limit": f"{limit:.6f}",
+                    "projected_load": format_detail(projected),
+                    "limit": format_detail(limit),
                 },
             )
         name = event.algorithm or self.config.algorithm
@@ -311,9 +361,9 @@ class FleetController:
             "admitted",
             {
                 "algorithm": name,
-                "operations": str(len(event.workflow)),
-                "projected_load": f"{projected:.6f}",
-                "servers_used": str(len(deployment.used_servers())),
+                "operations": format_detail(len(event.workflow)),
+                "projected_load": format_detail(projected),
+                "servers_used": format_detail(len(deployment.used_servers())),
             },
         )
 
@@ -326,7 +376,7 @@ class FleetController:
         return (
             event.tenant,
             "removed",
-            {"operations": str(len(record.workflow))},
+            {"operations": format_detail(len(record.workflow))},
         )
 
     def _on_server_failed(
@@ -343,9 +393,9 @@ class FleetController:
             event.server,
             "recovered",
             {
-                "orphans": str(rehomed),
-                "tenants_affected": str(len(orphans)),
-                "servers_left": str(len(state.network)),
+                "orphans": format_detail(rehomed),
+                "tenants_affected": format_detail(len(orphans)),
+                "servers_left": format_detail(len(state.network)),
             },
         )
 
@@ -367,9 +417,9 @@ class FleetController:
             max_moves=self.config.max_moves_per_rebalance,
         )
         details = {
-            "spread_moves": str(len(moves)),
-            "gain": f"{before - after:.6f}",
-            "servers": str(len(state.network)),
+            "spread_moves": format_detail(len(moves)),
+            "gain": format_detail(before - after),
+            "servers": format_detail(len(state.network)),
         }
         report = self.last_rebalance_report
         if report is not None and not report.exhausted:
@@ -386,18 +436,18 @@ class FleetController:
         else:
             drift = 0.0
         if drift <= self.config.drift_threshold:
-            return "fleet", "steady", {"drift": f"{drift:.6f}"}
+            return "fleet", "steady", {"drift": format_detail(drift)}
         moves, before, after = self._greedy_moves(
             targets=None,
             candidates=self._busiest_server_operations,
             max_moves=self.config.max_moves_per_rebalance,
         )
         details = {
-            "drift": f"{drift:.6f}",
-            "churn": str(len(moves)),
-            "objective_before": f"{before:.6f}",
-            "objective_after": f"{after:.6f}",
-            "gain": f"{before - after:.6f}",
+            "drift": format_detail(drift),
+            "churn": format_detail(len(moves)),
+            "objective_before": format_detail(before),
+            "objective_after": format_detail(after),
+            "gain": format_detail(before - after),
         }
         report = self.last_rebalance_report
         if report is not None and not report.exhausted:

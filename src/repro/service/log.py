@@ -21,7 +21,23 @@ from typing import Iterator, Mapping
 from repro.exceptions import ServiceError
 from repro.experiments.reporting import TextTable, format_seconds
 
-__all__ = ["LogRecord", "FleetLog", "FleetMetrics"]
+__all__ = ["LogRecord", "FleetLog", "FleetMetrics", "format_detail"]
+
+
+def format_detail(value: object) -> str:
+    """Canonical string form of a :attr:`LogRecord.details` value.
+
+    The determinism contract compares rendered logs byte for byte, so
+    every detail value must format identically everywhere -- across
+    call sites *and* across Python minor versions. Floats are pinned to
+    six decimal places (never ``str(float)``, whose shortest-repr
+    output is an implementation detail); everything else goes through
+    ``str``. All controller handlers must build their detail bags with
+    this helper instead of ad-hoc f-strings.
+    """
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
 
 
 @dataclass(frozen=True)

@@ -398,15 +398,23 @@ class FleetState:
         link_speed_bps: float,
         propagation_s: float = 0.0,
     ) -> Server:
-        """Add a server linked to every existing server (bus semantics)."""
+        """Add a server linked to every existing server (bus semantics).
+
+        Transactional: the server and every link are *constructed* (and
+        therefore validated) before the network is touched, so a bad
+        ``power_hz``/``link_speed_bps``/``propagation_s`` raises with
+        the fleet unchanged -- never a server left behind with its
+        links missing.
+        """
         if server in self._network:
             raise ServiceError(f"server {server!r} is already in the fleet")
         joined = Server(server, power_hz)
-        existing = self._network.server_names
+        links = [
+            Link(other, server, link_speed_bps, propagation_s)
+            for other in self._network.server_names
+        ]
         self._network.add_server(joined)
-        for other in existing:
-            self._network.add_link(
-                Link(other, server, link_speed_bps, propagation_s)
-            )
+        for link in links:
+            self._network.add_link(link)
         self._invalidate_caches()
         return joined

@@ -1,0 +1,148 @@
+"""Tenant sharding: stable hashing, routing, budget splits, determinism."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.algorithms.runtime import SearchBudget
+from repro.core.clock import StepClock
+from repro.exceptions import ServiceError
+from repro.service.controller import FleetConfig
+from repro.service.events import (
+    DeployRequest,
+    ServerFailed,
+    ServerJoined,
+    Tick,
+    UndeployRequest,
+)
+from repro.service.scenarios import build_scenario
+from repro.service.sharding import ShardRouter, shard_for
+
+from .conftest import make_line
+
+
+class TestShardFor:
+    def test_stable_across_calls(self):
+        assert shard_for("tenant-001", 4) == shard_for("tenant-001", 4)
+
+    def test_matches_sha1_not_builtin_hash(self):
+        digest = hashlib.sha1(b"tenant-042").hexdigest()
+        assert shard_for("tenant-042", 7) == int(digest, 16) % 7
+
+    def test_single_shard_takes_everything(self):
+        assert all(
+            shard_for(f"t{i}", 1) == 0 for i in range(20)
+        )
+
+    def test_spreads_over_shards(self):
+        shards = {shard_for(f"tenant-{i:03d}", 4) for i in range(50)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ServiceError):
+            shard_for("x", 0)
+
+
+@pytest.fixture
+def router(fleet_network):
+    return ShardRouter(
+        fleet_network,
+        config=FleetConfig(),
+        shards=3,
+        clock_factory=StepClock,
+    )
+
+
+class TestRouting:
+    def test_tenant_events_go_to_one_shard(self, router):
+        event = DeployRequest("alpha", make_line("alpha", [10e6]))
+        targets = router.targets(event)
+        assert targets == (shard_for("alpha", 3),)
+        assert router.targets(UndeployRequest("alpha")) == targets
+
+    def test_fleet_events_broadcast(self, router):
+        assert router.targets(Tick()) == (0, 1, 2)
+        assert router.targets(ServerFailed("S1")) == (0, 1, 2)
+        assert router.targets(ServerJoined("S9", 1e9, 1e8)) == (0, 1, 2)
+
+    def test_handle_reaches_only_targets(self, router):
+        results = router.handle(
+            DeployRequest("alpha", make_line("alpha", [10e6]))
+        )
+        assert len(results) == 1
+        shard, record = results[0]
+        assert shard == router.shard_of("alpha")
+        assert record.action == "admitted"
+        assert router.controller_for("alpha").state.tenants == ("alpha",)
+
+    def test_topology_events_reach_every_shard(self, router):
+        results = router.handle(ServerJoined("S9", 1e9, 1e8))
+        assert [shard for shard, _ in results] == [0, 1, 2]
+        for controller in router.controllers:
+            assert "S9" in controller.state.network
+
+    def test_shards_have_independent_networks(self, router, fleet_network):
+        router.controllers[0].handle(ServerJoined("S9", 1e9, 1e8))
+        assert "S9" not in router.controllers[1].state.network
+        assert "S9" not in fleet_network  # the source is never mutated
+
+
+class TestBudgetSlicing:
+    def test_rebalance_budget_divided_across_shards(self, fleet_network):
+        config = FleetConfig(
+            rebalance_budget=SearchBudget(max_evals=100, deadline_s=2.0)
+        )
+        router = ShardRouter(fleet_network, config=config, shards=4)
+        shares = [c.rebalance_budget.max_evals for c in router.configs]
+        assert shares == [25, 25, 25, 25]
+        assert all(
+            c.rebalance_budget.deadline_s == 2.0 for c in router.configs
+        )
+
+    def test_no_budget_stays_none(self, fleet_network):
+        router = ShardRouter(fleet_network, shards=2)
+        assert all(c.rebalance_budget is None for c in router.configs)
+
+    def test_invalid_shard_count_rejected(self, fleet_network):
+        with pytest.raises(ServiceError):
+            ShardRouter(fleet_network, shards=0)
+
+
+class TestShardedDeterminism:
+    def test_scenario_replay_is_byte_identical(self):
+        def run():
+            scenario = build_scenario("churn", seed=5)
+            router = ShardRouter(
+                scenario.network,
+                config=scenario.config,
+                shards=3,
+                clock_factory=StepClock,
+            )
+            router.run(scenario.events)
+            return [c.log.to_text() for c in router.controllers]
+
+        assert run() == run()
+
+    def test_tenant_placement_is_stable(self):
+        scenario = build_scenario("steady", seed=2)
+        router = ShardRouter(
+            scenario.network,
+            config=scenario.config,
+            shards=3,
+            clock_factory=StepClock,
+        )
+        router.run(scenario.events)
+        placement = router.tenants()
+        assert placement  # the scenario hosts at least one tenant
+        for tenant, shard in placement.items():
+            assert shard == shard_for(tenant, 3)
+
+    def test_aggregate_views(self, router):
+        router.handle(DeployRequest("alpha", make_line("alpha", [10e6])))
+        snapshots = router.snapshots()
+        assert len(snapshots) == 3
+        assert router.total_objective() == sum(
+            s.objective for s in snapshots
+        )

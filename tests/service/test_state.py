@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.mapping import Deployment
-from repro.exceptions import ServiceError
+from repro.exceptions import ReproError, ServiceError
 from repro.network.topology import bus_network
 from repro.service.state import (
     FleetState,
@@ -11,8 +11,6 @@ from repro.service.state import (
     jain_index,
     load_penalty,
 )
-
-from .conftest import make_line
 
 
 def place_round_robin(state, tenant, workflow):
@@ -184,3 +182,37 @@ class TestTopologyChanges:
         state = FleetState(fleet_network)
         with pytest.raises(ServiceError, match="already in the fleet"):
             state.join_server("S1", 1e9, 1e8)
+
+    @pytest.mark.parametrize(
+        "power_hz,link_speed_bps,propagation_s",
+        [
+            (-1e9, 1e8, 0.0),  # bad power
+            (0.0, 1e8, 0.0),  # zero power
+            (1e9, -5.0, 0.0),  # bad link speed
+            (1e9, 0.0, 0.0),  # zero link speed
+            (1e9, 1e8, -0.5),  # negative propagation delay
+        ],
+    )
+    def test_join_server_is_transactional(
+        self, fleet_network, power_hz, link_speed_bps, propagation_s
+    ):
+        """Regression: bad join parameters must leave the fleet untouched.
+
+        ``join_server`` used to add the server (and some links) before
+        the failing parameter was validated, leaving a half-joined
+        server behind. All servers and links are now constructed --
+        and therefore validated -- before the first mutation.
+        """
+        state = FleetState(fleet_network)
+        servers_before = state.network.server_names
+        links_before = len(state.network.links)
+        with pytest.raises(ReproError):
+            state.join_server(
+                "S9", power_hz, link_speed_bps, propagation_s
+            )
+        assert state.network.server_names == servers_before
+        assert len(state.network.links) == links_before
+        assert "S9" not in state.network
+        # the fleet is still fully usable: a good join goes through
+        state.join_server("S9", 1e9, 1e8)
+        assert "S9" in state.network

@@ -327,6 +327,136 @@ class TestFleet:
         with pytest.raises(SystemExit):
             main(["fleet", "--scenario", "nope"])
 
+    def test_explicit_replay_action_matches_default(self, capsys):
+        assert main(["fleet", "replay", "--scenario", "steady"]) == 0
+        explicit = capsys.readouterr().out
+        assert main(["fleet", "--scenario", "steady"]) == 0
+        assert capsys.readouterr().out == explicit
+
+
+class TestFleetDurability:
+    def test_checkpoint_then_restore_resume(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        code = main(
+            [
+                "fleet",
+                "checkpoint",
+                "--scenario",
+                "churn",
+                "--seed",
+                "3",
+                "--stop-after",
+                "10",
+                "--checkpoint",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "10 events processed" in out and "15 pending" in out
+        assert path.exists()
+
+        code = main(
+            ["fleet", "restore", "--checkpoint", str(path), "--resume"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "10 events replayed and verified" in out
+        assert "resumed: processed 15 pending events" in out
+        assert "fleet metrics" in out
+
+    def test_checkpoint_full_scenario_has_no_pending(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "fleet.json"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "checkpoint",
+                    "--scenario",
+                    "steady",
+                    "--checkpoint",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert "0 pending" in capsys.readouterr().out
+
+    def test_missing_checkpoint_file_is_one_line_error(
+        self, tmp_path, capsys
+    ):
+        """Satellite: ValidationError exits non-zero with one line on
+        stderr, never a traceback."""
+        code = main(
+            [
+                "fleet",
+                "restore",
+                "--checkpoint",
+                str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        err_lines = [
+            line for line in captured.err.splitlines() if line.strip()
+        ]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_tampered_checkpoint_is_one_line_error(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fleet.json"
+        main(
+            [
+                "fleet",
+                "checkpoint",
+                "--scenario",
+                "steady",
+                "--checkpoint",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        document = json.loads(path.read_text())
+        document["log"][0]["action"] = "tampered"
+        path.write_text(json.dumps(document))
+        code = main(["fleet", "restore", "--checkpoint", str(path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "diverged" in err
+        assert "Traceback" not in err
+
+    def test_stop_after_out_of_range_is_one_line_error(
+        self, tmp_path, capsys
+    ):
+        """Satellite: ServiceError exits non-zero with one line."""
+        code = main(
+            [
+                "fleet",
+                "checkpoint",
+                "--scenario",
+                "steady",
+                "--stop-after",
+                "999",
+                "--checkpoint",
+                str(tmp_path / "fleet.json"),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "--stop-after 999" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_checkpoint_without_path_is_one_line_error(self, capsys):
+        code = main(["fleet", "checkpoint", "--scenario", "steady"])
+        assert code == 1
+        assert "needs --checkpoint" in capsys.readouterr().err
+
 
 def test_algorithms_lists_registry(capsys):
     assert main(["algorithms"]) == 0
