@@ -32,6 +32,7 @@ from repro.core.clock import Clock
 from repro.core.compiled import CompiledInstance
 from repro.core.cost import CostModel
 from repro.core.mapping import Deployment
+from repro.core.migration import TransitionObjective
 from repro.core.rng import coerce_rng
 from repro.core.workflow import Workflow
 from repro.exceptions import AlgorithmError
@@ -106,6 +107,11 @@ class ProblemContext:
     report:
         The :class:`~repro.algorithms.runtime.SearchReport` of the last
         :meth:`search` run (``None`` for non-iterative algorithms).
+    objective:
+        The resolved :class:`~repro.core.migration.TransitionObjective`
+        the cost model prices with. Algorithms that evaluate through
+        the cost model / compiled instance are transition-aware
+        automatically; this field is informational.
     """
 
     workflow: Workflow
@@ -120,6 +126,7 @@ class ProblemContext:
     clock: Clock | None = None
     on_progress: Callable[[SearchProgress], None] | None = None
     report: SearchReport | None = None
+    objective: TransitionObjective | None = None
 
     def search(self, steps: Iterator[SearchStep]) -> SearchOutcome:
         """Run a step generator under this context's budget and plumbing.
@@ -204,6 +211,7 @@ class DeploymentAlgorithm(ABC):
         cancel: CancelToken | None = None,
         clock: Clock | None = None,
         on_progress: Callable[[SearchProgress], None] | None = None,
+        objective: TransitionObjective | None = None,
     ) -> Deployment:
         """Compute a complete mapping of *workflow* onto *network*.
 
@@ -241,6 +249,14 @@ class DeploymentAlgorithm(ABC):
         on_progress:
             Periodic per-step progress callback (see
             :class:`~repro.algorithms.runtime.SearchRuntime`).
+        objective:
+            Optional :class:`~repro.core.migration.TransitionObjective`.
+            When given and *cost_model* is omitted, the cost model is
+            built from it, so the whole search (anytime curves and
+            budgets included) prices candidates transition-aware. When
+            both are given they must agree -- passing a cost model
+            compiled from a different objective raises
+            :class:`~repro.exceptions.AlgorithmError`.
         """
         deployment, _ = self.deploy_with_report(
             workflow,
@@ -251,6 +267,7 @@ class DeploymentAlgorithm(ABC):
             cancel=cancel,
             clock=clock,
             on_progress=on_progress,
+            objective=objective,
         )
         return deployment
 
@@ -264,6 +281,7 @@ class DeploymentAlgorithm(ABC):
         cancel: CancelToken | None = None,
         clock: Clock | None = None,
         on_progress: Callable[[SearchProgress], None] | None = None,
+        objective: TransitionObjective | None = None,
     ) -> tuple[Deployment, SearchReport | None]:
         """:meth:`deploy`, plus the search report.
 
@@ -278,6 +296,15 @@ class DeploymentAlgorithm(ABC):
         if len(network) == 0:
             raise AlgorithmError("network has no servers")
         network.require_connected()
+        if objective is not None:
+            if cost_model is None:
+                cost_model = CostModel(workflow, network, objective=objective)
+            elif cost_model.compiled.objective != objective:
+                raise AlgorithmError(
+                    "deploy(objective=...) conflicts with the provided "
+                    "cost_model; build the cost model from the same "
+                    "TransitionObjective (or pass only one of the two)"
+                )
         if cost_model is None:
             cost_model = CostModel(workflow, network)
         rng = coerce_rng(rng)
@@ -307,6 +334,7 @@ class DeploymentAlgorithm(ABC):
             cancel=cancel,
             clock=clock,
             on_progress=on_progress,
+            objective=cost_model.compiled.objective,
         )
         deployment = self._deploy(context)
         deployment.validate(workflow, network)

@@ -229,6 +229,11 @@ class BranchAndBound(DeploymentAlgorithm):
 
         yield SearchStep(best_value, snapshot, evals=1)
 
+        # the shared objective combine (migration of still-unassigned
+        # operations is unknown, and >= 0, so the two-term value stays a
+        # valid lower bound for transition-aware objectives too)
+        compiled = cost_model.compiled
+
         def bound(remaining: float) -> float:
             execution = self._execution_lower_bound(
                 context, assignment, topo, fastest_hz
@@ -236,10 +241,7 @@ class BranchAndBound(DeploymentAlgorithm):
             penalty = self._penalty_lower_bound(
                 context, assigned_cycles, remaining
             )
-            return (
-                cost_model.execution_weight * execution
-                + cost_model.penalty_weight * penalty
-            )
+            return compiled.objective_value(execution, penalty)
 
         def recurse(index: int, remaining: float) -> Iterator[SearchStep]:
             nonlocal best_value, best_mapping

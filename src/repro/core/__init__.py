@@ -12,6 +12,11 @@ This package implements the formal model of section 2.2 of the paper:
 * :mod:`repro.core.probability` -- execution-probability propagation used by
   the random-graph algorithms (section 3.4).
 * :mod:`repro.core.mapping` -- the deployment mapping ``O -> S``.
+* :mod:`repro.core.migration` -- transition-aware objectives:
+  :class:`MigrationCostModel` (per-op move cost from state-size/downtime
+  parameters) and :class:`TransitionObjective` (the full objective
+  specification, with migration priced relative to a baseline
+  :class:`FrozenDeployment`).
 * :mod:`repro.core.compiled` -- the compiled problem IR
   (:class:`CompiledInstance`): one integer-indexed artifact per
   ``(workflow, network, cost parameters)`` triple, shared by the cost
@@ -44,6 +49,7 @@ from repro.core.validation import (
 )
 from repro.core.probability import execution_probabilities
 from repro.core.mapping import Deployment, FrozenDeployment
+from repro.core.migration import MigrationCostModel, TransitionObjective
 from repro.core.compiled import (
     CompiledInstance,
     batch_evaluator_or_none,
@@ -89,6 +95,8 @@ __all__ = [
     "execution_probabilities",
     "Deployment",
     "FrozenDeployment",
+    "MigrationCostModel",
+    "TransitionObjective",
     "CompiledInstance",
     "penalty_statistic",
     "CostModel",

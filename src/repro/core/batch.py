@@ -76,11 +76,17 @@ class BatchScores:
         the scalar objective of each batch row, bit-identical to the
         scalar :meth:`~repro.core.compiled.CompiledInstance.components`
         of that row.
+    migration:
+        ``(K,)`` float array of per-row migration costs vs the
+        transition baseline (already folded into ``objective`` with the
+        migration weight); ``None`` when the compiled instance is not
+        transition-aware.
     """
 
     execution: "np.ndarray"
     penalty: "np.ndarray"
     objective: "np.ndarray"
+    migration: "np.ndarray | None" = None
 
     def __len__(self) -> int:
         """Number of scored rows."""
@@ -129,6 +135,12 @@ class BatchEvaluator:
         self._power = np.asarray(compiled.power, dtype=np.float64)
         self._xor_weights = compiled.xor_weights
         self._xor_total = compiled.xor_weight_total
+        # (M, S) migration-cost table when transition-aware, else None
+        self._migration_table = (
+            np.asarray(compiled.migration_table, dtype=np.float64)
+            if compiled.transition_aware
+            else None
+        )
 
         # ---- dense (S, S) affine route-delay matrices -----------------
         servers = self.num_servers
@@ -265,7 +277,12 @@ class BatchEvaluator:
         count = b.shape[0]
         if count == 0:
             empty = np.empty(0)
-            return BatchScores(empty, empty.copy(), empty.copy())
+            return BatchScores(
+                empty,
+                empty.copy(),
+                empty.copy(),
+                empty.copy() if self._migration_table is not None else None,
+            )
         # op-major transpose: bT[op] is one contiguous K-vector of the
         # batch's server choices for that operation
         bT = np.ascontiguousarray(b.T)
@@ -276,7 +293,13 @@ class BatchEvaluator:
             compiled.execution_weight * execution
             + compiled.penalty_weight * penalty
         )
-        return BatchScores(execution, penalty, objective)
+        if self._migration_table is None:
+            return BatchScores(execution, penalty, objective)
+        migration = self._migration(bT)
+        # the same left-to-right order as the scalar objective_value:
+        # (ew*e + pw*p) first, then + mw*m
+        objective = objective + compiled.migration_weight * migration
+        return BatchScores(execution, penalty, objective, migration)
 
     def _execution(self, bT: "np.ndarray") -> "np.ndarray":
         """``Texecute`` per row: the vectorized topological forward pass."""
@@ -346,6 +369,21 @@ class BatchEvaluator:
         for op in range(self.num_ops):
             totals[rows, bT[op]] += wcycles[op]
         return totals / self._power
+
+    def _migration(self, bT: "np.ndarray") -> "np.ndarray":
+        """``(K,)`` migration cost per row vs the transition baseline.
+
+        Accumulates one operation at a time, so each row's total adds
+        its table lookups in operation insertion order -- the exact
+        float sequence of the scalar
+        :meth:`~repro.core.compiled.CompiledInstance.migration_cost`.
+        """
+        count = bT.shape[1]
+        table = self._migration_table
+        totals = np.zeros(count)
+        for op in range(self.num_ops):
+            totals += table[op][bT[op]]
+        return totals
 
     def _penalty(self, loads: "np.ndarray") -> "np.ndarray":
         """The compiled-in fairness statistic, one value per row.

@@ -42,6 +42,7 @@ from typing import Mapping, Sequence
 
 import networkx as nx
 
+from repro.core.migration import PENALTY_MODES, TransitionObjective
 from repro.core.probability import execution_probabilities
 from repro.core.validation import check_well_formed
 from repro.core.workflow import NodeKind, Workflow
@@ -58,13 +59,6 @@ __all__ = [
     "JOIN_MIN",
     "JOIN_XOR",
 ]
-
-#: Supported fairness statistics for the ``TimePenalty`` term:
-#: ``"mad"`` -- mean absolute deviation from the average load;
-#: ``"sum_abs"`` -- total absolute deviation;
-#: ``"max"`` -- worst single-server deviation;
-#: ``"std"`` -- population standard deviation of the loads.
-PENALTY_MODES = ("mad", "sum_abs", "max", "std")
 
 #: Join-semantics codes of the forward pass, one per operation:
 #: plain nodes and ``AND`` joins wait for every arrival (max).
@@ -142,6 +136,14 @@ class CompiledInstance:
         Optional pre-built :class:`~repro.network.routing.Router` whose
         per-pair affine coefficients seed the route-delay table; built
         fresh when omitted.
+    objective:
+        Optional :class:`~repro.core.migration.TransitionObjective`. When
+        given it is the single source of truth for every objective
+        parameter (the individual keyword arguments are ignored); when
+        omitted one is assembled from them, which reproduces the
+        historical two-term objective exactly. A transition-aware
+        specification additionally compiles the baseline-assignment
+        vector and the per-``(op, server)`` migration-cost table.
 
     Attributes
     ----------
@@ -177,6 +179,14 @@ class CompiledInstance:
         not yet resolved, ``()`` for the rare genuinely size-dependent
         pairs (answered by the router per size). Read through
         :meth:`delay` unless you replicate its fallback.
+    objective, transition_aware, migration_weight:
+        The resolved :class:`~repro.core.migration.TransitionObjective`
+        plus its unpacked gate and coefficient.
+    baseline_servers, migration_table:
+        When transition-aware: the baseline placement as a server-index
+        vector and ``migration_table[op][server]`` -- the cost of
+        *op* running on *server* relative to its baseline (0.0 on the
+        baseline server). ``None`` otherwise.
     """
 
     def __init__(
@@ -188,7 +198,19 @@ class CompiledInstance:
         penalty_mode: str = "mad",
         use_probabilities: bool | None = None,
         router: Router | None = None,
+        objective: TransitionObjective | None = None,
     ):
+        if objective is None:
+            objective = TransitionObjective(
+                execution_weight=execution_weight,
+                penalty_weight=penalty_weight,
+                penalty_mode=penalty_mode,
+                use_probabilities=use_probabilities,
+            )
+        execution_weight = objective.execution_weight
+        penalty_weight = objective.penalty_weight
+        penalty_mode = objective.penalty_mode
+        use_probabilities = objective.use_probabilities
         if penalty_mode not in PENALTY_MODES:
             raise DeploymentError(
                 f"unknown penalty mode {penalty_mode!r}; expected one of "
@@ -204,9 +226,12 @@ class CompiledInstance:
             )
         self.workflow = workflow
         self.network = network
+        self.objective = objective
         self.execution_weight = execution_weight
         self.penalty_weight = penalty_weight
         self.penalty_mode = penalty_mode
+        self.migration_weight = objective.migration_weight
+        self.transition_aware = objective.transition_aware
         self.router = router or Router(network)
 
         has_xor = any(op.kind is NodeKind.XOR_SPLIT for op in workflow)
@@ -330,6 +355,43 @@ class CompiledInstance:
         ]
         for i in range(self.num_servers):
             self.routes[i][i] = (0.0, 0.0)  # co-located: free, any size
+
+        # ---- transition baseline + migration-cost table ------------------
+        if self.transition_aware:
+            baseline = objective.baseline.as_dict()
+            missing = [
+                name for name in self.op_names if name not in baseline
+            ]
+            if missing:
+                raise DeploymentError(
+                    f"transition baseline is missing operations "
+                    f"{missing!r} of workflow {workflow.name!r}"
+                )
+            self.baseline_servers: tuple[int, ...] | None = tuple(
+                self.server_index_of(baseline[name])
+                for name in self.op_names
+            )
+            model = objective.migration
+            # state size scales with *raw* cycles: the operation carries
+            # its full state regardless of execution probability
+            table = []
+            for op in range(self.num_ops):
+                source = self.baseline_servers[op]
+                bits = model.state_bits(self.cycles[op])
+                table.append(
+                    tuple(
+                        0.0
+                        if target == source
+                        else model.downtime_s + self.delay(source, target, bits)
+                        for target in range(self.num_servers)
+                    )
+                )
+            self.migration_table: tuple[tuple[float, ...], ...] | None = (
+                tuple(table)
+            )
+        else:
+            self.baseline_servers = None
+            self.migration_table = None
 
         # ---- lazily-filled caches ---------------------------------------
         self._graph = workflow.graph
@@ -490,11 +552,40 @@ class CompiledInstance:
         """The compiled-in fairness statistic over *load_values*."""
         return penalty_statistic(load_values, self.penalty_mode)
 
-    def objective_value(self, execution: float, penalty: float) -> float:
-        """The scalar objective from its two components."""
-        return (
+    def migration_cost(self, servers: Sequence[int]) -> float:
+        """Summed per-op migration cost of *servers* vs the baseline.
+
+        Table lookups accumulate in operation insertion order (the same
+        floating-point order as :meth:`load_values`). Exactly ``0.0``
+        -- without touching any table -- when the instance is not
+        transition-aware, so non-aware callers can pass the result to
+        :meth:`objective_value` unconditionally.
+        """
+        if not self.transition_aware:
+            return 0.0
+        table = self.migration_table
+        total = 0.0
+        for op in range(self.num_ops):
+            total += table[op][servers[op]]
+        return total
+
+    def objective_value(
+        self, execution: float, penalty: float, migration: float = 0.0
+    ) -> float:
+        """The scalar objective from its components.
+
+        The compiled form of
+        :meth:`~repro.core.migration.TransitionObjective.value`: the
+        migration term participates only when the instance is
+        transition-aware, so the historical two-argument call sites are
+        byte-identical to the pre-refactor scalar.
+        """
+        value = (
             self.execution_weight * execution + self.penalty_weight * penalty
         )
+        if self.transition_aware:
+            return value + self.migration_weight * migration
+        return value
 
     def components(
         self, servers: Sequence[int]
@@ -502,7 +593,12 @@ class CompiledInstance:
         """``(execution_time, time_penalty, objective)`` of one vector."""
         penalty = self.penalty(self.load_values(servers))
         execution = self.execution_from(self.forward_pass(servers))
-        return execution, penalty, self.objective_value(execution, penalty)
+        migration = self.migration_cost(servers)
+        return (
+            execution,
+            penalty,
+            self.objective_value(execution, penalty, migration),
+        )
 
     def communication_time(self, servers: Sequence[int]) -> float:
         """Probability-weighted ``Tcomm`` summed over all messages."""

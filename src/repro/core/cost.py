@@ -50,6 +50,7 @@ from repro.core.compiled import (
     penalty_statistic,
 )
 from repro.core.mapping import Deployment
+from repro.core.migration import TransitionObjective
 from repro.core.workflow import Message, Workflow
 from repro.network.routing import Router
 from repro.network.topology import ServerNetwork
@@ -81,6 +82,11 @@ class CostBreakdown:
     response_times:
         Per-operation (expected, branch-conditional) completion times --
         the section 6 extension; empty when not computed.
+    migration_cost:
+        Summed per-op migration cost vs the transition baseline
+        (unweighted seconds); 0.0 when the model is not
+        transition-aware. When non-zero, ``objective`` includes it as
+        ``migration_weight * migration_cost``.
     """
 
     execution_time: float
@@ -90,6 +96,7 @@ class CostBreakdown:
     communication_time: float = 0.0
     processing_time: float = 0.0
     response_times: Mapping[str, float] = field(default_factory=dict)
+    migration_cost: float = 0.0
 
     def dominates(self, other: "CostBreakdown") -> bool:
         """Pareto dominance: at least as good on both axes, better on one."""
@@ -124,6 +131,11 @@ class CostModel:
     router:
         Optional pre-built :class:`~repro.network.routing.Router` to share
         its cache across cost models.
+    objective:
+        Optional :class:`~repro.core.migration.TransitionObjective`; when
+        given it supplies every objective parameter (the individual
+        keyword arguments are ignored) and, if transition-aware, makes
+        every evaluation include the migration term.
     """
 
     def __init__(
@@ -135,6 +147,7 @@ class CostModel:
         penalty_mode: str = "mad",
         use_probabilities: bool | None = None,
         router: Router | None = None,
+        objective: TransitionObjective | None = None,
     ):
         self._init_from_compiled(
             CompiledInstance(
@@ -145,6 +158,7 @@ class CostModel:
                 penalty_mode=penalty_mode,
                 use_probabilities=use_probabilities,
                 router=router,
+                objective=objective,
             )
         )
 
@@ -170,6 +184,9 @@ class CostModel:
         self.penalty_mode = compiled.penalty_mode
         self.router = compiled.router
         self.use_probabilities = compiled.use_probabilities
+        # the resolved specification (the method `objective` prices a
+        # deployment; this attribute is the spec it prices against)
+        self.objective_spec = compiled.objective
 
     # ------------------------------------------------------------------
     # Table 1 primitives
@@ -322,8 +339,10 @@ class CostModel:
         return compiled.processing_time(compiled.server_vector(deployment))
 
     def objective(self, deployment: Deployment) -> float:
-        """The scalar objective: weighted sum of the two metrics.
+        """The scalar objective: weighted sum of the cost metrics.
 
+        Includes the migration term when the model is transition-aware
+        (``migration_cost`` is exactly 0.0 and ignored otherwise).
         Validates the deployment exactly once, not once per metric.
         """
         deployment.validate(self.workflow, self.network)
@@ -331,7 +350,8 @@ class CostModel:
         servers = compiled.server_vector(deployment)
         execution = compiled.execution_from(compiled.forward_pass(servers))
         penalty = compiled.penalty(compiled.load_values(servers))
-        return compiled.objective_value(execution, penalty)
+        migration = compiled.migration_cost(servers)
+        return compiled.objective_value(execution, penalty, migration)
 
     def evaluate(self, deployment: Deployment) -> CostBreakdown:
         """Full :class:`CostBreakdown` for *deployment*.
@@ -345,15 +365,17 @@ class CostModel:
         finish = compiled.forward_pass(servers)
         execution = compiled.execution_from(finish)
         penalty = compiled.penalty(load_values)
+        migration = compiled.migration_cost(servers)
         op_names = compiled.op_names
         return CostBreakdown(
             execution_time=execution,
             time_penalty=penalty,
-            objective=compiled.objective_value(execution, penalty),
+            objective=compiled.objective_value(execution, penalty, migration),
             loads=dict(zip(compiled.server_names, load_values)),
             communication_time=compiled.communication_time(servers),
             processing_time=compiled.processing_time(servers),
             response_times={
                 op_names[op]: finish[op] for op in compiled.order
             },
+            migration_cost=migration,
         )

@@ -70,6 +70,9 @@ class MoveOutcome:
         The cost the deployment would have *after* the move.
     delta:
         ``objective - current objective`` (negative improves).
+    migration_cost:
+        The deployment's total migration cost vs the transition
+        baseline *after* the move (0.0 when not transition-aware).
     """
 
     operation: str
@@ -79,6 +82,7 @@ class MoveOutcome:
     execution_time: float
     time_penalty: float
     delta: float
+    migration_cost: float = 0.0
 
 
 class MoveEvaluator:
@@ -156,6 +160,7 @@ class MoveEvaluator:
         self._loads_list = [
             cycles[j] / power[j] for j in range(compiled.num_servers)
         ]
+        self._migration = compiled.migration_cost(self._servers)
         self._refresh_scalars()
         self._pending = None
         self._commits_since_resync = 0
@@ -165,7 +170,7 @@ class MoveEvaluator:
         self._execution = compiled.execution_from(self._finish)
         self._penalty = compiled.penalty(self._loads_list)
         self._objective = compiled.objective_value(
-            self._execution, self._penalty
+            self._execution, self._penalty, self._migration
         )
 
     # ------------------------------------------------------------------
@@ -185,6 +190,11 @@ class MoveEvaluator:
     def time_penalty(self) -> float:
         """The fairness penalty of the attached deployment."""
         return self._penalty
+
+    @property
+    def migration_cost(self) -> float:
+        """Total migration cost vs the baseline (0.0 when not aware)."""
+        return self._migration
 
     def response_times(self) -> dict[str, float]:
         """Per-operation finish times (a copy of the running table)."""
@@ -214,6 +224,7 @@ class MoveEvaluator:
             communication_time=self._comm_total,
             processing_time=self._proc_total,
             response_times=self.response_times(),
+            migration_cost=self._migration,
         )
 
     # ------------------------------------------------------------------
@@ -239,6 +250,7 @@ class MoveEvaluator:
             outcome = MoveOutcome(
                 operation, server, server,
                 self._objective, self._execution, self._penalty, 0.0,
+                self._migration,
             )
             self._pending = None
             return outcome
@@ -253,6 +265,7 @@ class MoveEvaluator:
             execution,
             penalty,
             objective - self._objective,
+            priced[8],
         )
         self._pending = (outcome, op, target, source) + priced[3:]
         return outcome
@@ -284,8 +297,10 @@ class MoveEvaluator:
         """Dirty-region pricing core shared by propose/propose_value.
 
         Returns ``(objective, execution, penalty, new_finish,
-        source_cycles, target_cycles, source_load, target_load)`` where
-        *new_finish* maps dirty op indices to their new finish times.
+        source_cycles, target_cycles, source_load, target_load,
+        migration)`` where *new_finish* maps dirty op indices to their
+        new finish times and *migration* is the deployment's total
+        migration cost after the move.
         """
         compiled = self.compiled
         # dirty-region forward pass over {op} U descendants; the server
@@ -369,7 +384,13 @@ class MoveEvaluator:
         finally:
             loads[source] = old_i
             loads[target] = old_j
-        objective = compiled.objective_value(execution, penalty)
+        if compiled.transition_aware:
+            # O(1) migration delta: only the moved op's table row changes
+            row = compiled.migration_table[op]
+            migration = self._migration + row[target] - row[source]
+        else:
+            migration = self._migration
+        objective = compiled.objective_value(execution, penalty, migration)
         return (
             objective,
             execution,
@@ -379,6 +400,7 @@ class MoveEvaluator:
             new_target_cycles,
             source_load,
             target_load,
+            migration,
         )
 
     def commit(self) -> MoveOutcome:
@@ -402,6 +424,7 @@ class MoveEvaluator:
             target_cycles,
             source_load,
             target_load,
+            migration,
         ) = self._pending
         self._pending = None
         compiled = self.compiled
@@ -436,6 +459,7 @@ class MoveEvaluator:
         self._execution = outcome.execution_time
         self._penalty = outcome.time_penalty
         self._objective = outcome.objective
+        self._migration = migration
         self._commits_since_resync += 1
         if (
             self.resync_interval
@@ -514,10 +538,11 @@ class TableScorer:
         servers = [server_index[genome[pos]] for pos in self._genome_pos]
         penalty = compiled.penalty(compiled.load_values(servers))
         execution = compiled.execution_from(compiled.forward_pass(servers))
+        migration = compiled.migration_cost(servers)
         return (
             execution,
             penalty,
-            compiled.objective_value(execution, penalty),
+            compiled.objective_value(execution, penalty, migration),
         )
 
     def objective(self, genome: Sequence[str]) -> float:

@@ -146,6 +146,23 @@ class ServerNetwork:
         for server in servers:
             self.add_server(server)
 
+    def replace_server(self, server: Server) -> Server:
+        """Swap the stored server of the same name with *server*.
+
+        Links, graph structure and insertion order are untouched -- this
+        models a capacity change (throttling, upgrade) of a live
+        machine, not a topology change. Raises
+        :class:`~repro.exceptions.UnknownServerError` when no server of
+        that name exists.
+        """
+        if server.name not in self._servers:
+            raise UnknownServerError(
+                f"cannot replace unknown server {server.name!r} in "
+                f"{self.name!r}"
+            )
+        self._servers[server.name] = server
+        return server
+
     def add_link(self, link: Link) -> Link:
         """Insert *link*; both endpoints must already be servers."""
         for endpoint in (link.a, link.b):

@@ -29,6 +29,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.algorithms.runtime import SearchBudget
 from repro.core.clock import StepClock
+from repro.core.migration import MigrationCostModel
 from repro.exceptions import ValidationError
 from repro.io.json_codec import (
     CodecError,
@@ -40,12 +41,14 @@ from repro.io.json_codec import (
 )
 from repro.service.controller import FleetConfig, FleetController
 from repro.service.events import (
+    CapacityDrift,
     DeployRequest,
     FleetEvent,
     ServerFailed,
     ServerJoined,
     Tick,
     UndeployRequest,
+    WorkloadDrift,
 )
 from repro.service.log import LogRecord
 from repro.service.state import FleetSnapshot
@@ -59,6 +62,8 @@ __all__ = [
     "config_from_dict",
     "budget_to_dict",
     "budget_from_dict",
+    "migration_to_dict",
+    "migration_from_dict",
     "record_to_dict",
     "record_from_dict",
     "snapshot_to_dict",
@@ -68,6 +73,7 @@ __all__ = [
     "write_checkpoint",
     "load_checkpoint",
     "restore_controller",
+    "restore_service",
 ]
 
 CHECKPOINT_FORMAT = "fleet-checkpoint"
@@ -106,6 +112,18 @@ def event_to_dict(event: FleetEvent) -> dict[str, Any]:
             "power_hz": event.power_hz,
             "link_speed_bps": event.link_speed_bps,
             "propagation_s": event.propagation_s,
+        }
+    if isinstance(event, WorkloadDrift):
+        return {
+            "kind": event.kind,
+            "tenant": event.tenant,
+            "workflow": workflow_to_dict(event.workflow),
+        }
+    if isinstance(event, CapacityDrift):
+        return {
+            "kind": event.kind,
+            "server": event.server,
+            "power_hz": event.power_hz,
         }
     if isinstance(event, Tick):
         return {"kind": event.kind}
@@ -148,6 +166,20 @@ def event_from_dict(document: Mapping[str, Any]) -> FleetEvent:
             ),
             propagation_s=float(document.get("propagation_s", 0.0)),
         )
+    if kind == WorkloadDrift.kind:
+        return WorkloadDrift(
+            tenant=str(_require(document, "tenant", "workload-drift event")),
+            workflow=workflow_from_dict(
+                _require(document, "workflow", "workload-drift event")
+            ),
+        )
+    if kind == CapacityDrift.kind:
+        return CapacityDrift(
+            server=str(_require(document, "server", "capacity-drift event")),
+            power_hz=float(
+                _require(document, "power_hz", "capacity-drift event")
+            ),
+        )
     if kind == Tick.kind:
         return Tick()
     raise ValidationError(f"unknown fleet event kind {kind!r}")
@@ -180,6 +212,34 @@ def budget_from_dict(
     )
 
 
+def migration_to_dict(
+    migration: MigrationCostModel | None,
+) -> dict[str, Any] | None:
+    """Encode a migration cost model (``None`` passes through)."""
+    if migration is None:
+        return None
+    return {
+        "state_bits_per_cycle": migration.state_bits_per_cycle,
+        "state_bits_base": migration.state_bits_base,
+        "downtime_s": migration.downtime_s,
+    }
+
+
+def migration_from_dict(
+    document: Mapping[str, Any] | None,
+) -> MigrationCostModel | None:
+    """Decode a migration cost model (``None`` passes through)."""
+    if document is None:
+        return None
+    return MigrationCostModel(
+        state_bits_per_cycle=float(
+            document.get("state_bits_per_cycle", 0.0)
+        ),
+        state_bits_base=float(document.get("state_bits_base", 0.0)),
+        downtime_s=float(document.get("downtime_s", 0.0)),
+    )
+
+
 def config_to_dict(config: FleetConfig) -> dict[str, Any]:
     """Encode a :class:`FleetConfig` as a JSON-compatible dict."""
     return {
@@ -194,11 +254,20 @@ def config_to_dict(config: FleetConfig) -> dict[str, Any]:
         "seed": config.seed,
         "use_batch": config.use_batch,
         "parallel_workers": config.parallel_workers,
+        "migration": migration_to_dict(config.migration),
+        "migration_weight": config.migration_weight,
+        "rebalance_min_gain": config.rebalance_min_gain,
+        "rebalance_cooldown_ticks": config.rebalance_cooldown_ticks,
     }
 
 
 def config_from_dict(document: Mapping[str, Any]) -> FleetConfig:
-    """Decode a :class:`FleetConfig` (validated by its constructor)."""
+    """Decode a :class:`FleetConfig` (validated by its constructor).
+
+    The transition-aware fields decode with their defaults when absent,
+    so version-1 checkpoints written before the migration model existed
+    keep loading.
+    """
     return FleetConfig(
         algorithm=str(_require(document, "algorithm", "fleet config")),
         admission_load_limit_s=document.get("admission_load_limit_s"),
@@ -219,6 +288,12 @@ def config_from_dict(document: Mapping[str, Any]) -> FleetConfig:
         seed=int(_require(document, "seed", "fleet config")),
         use_batch=bool(document.get("use_batch", True)),
         parallel_workers=int(document.get("parallel_workers", 1)),
+        migration=migration_from_dict(document.get("migration")),
+        migration_weight=float(document.get("migration_weight", 0.0)),
+        rebalance_min_gain=float(document.get("rebalance_min_gain", 0.0)),
+        rebalance_cooldown_ticks=int(
+            document.get("rebalance_cooldown_ticks", 0)
+        ),
     )
 
 
@@ -308,12 +383,38 @@ class Checkpoint:
     pending: tuple[FleetEvent, ...]
     deterministic: bool
     step_s: float
+    #: Queue priority of each pending event (aligned with
+    #: :attr:`pending`); ``None`` means the event kind's default. Old
+    #: checkpoints that stored bare events decode as all-``None``.
+    pending_priorities: tuple[int | None, ...] = ()
+
+
+def _pending_entry(item) -> dict[str, Any]:
+    """Encode one pending entry: a bare event or ``(event, priority)``.
+
+    A bare event (or a ``None`` priority) writes the historical plain
+    event dict; an explicit priority nests the event under ``"event"``
+    so a restored work queue re-seeds with byte-identical pop order
+    even after reprioritizations boosted the queued jobs.
+    """
+    if isinstance(item, FleetEvent):
+        return event_to_dict(item)
+    event, priority = item
+    if priority is None:
+        return event_to_dict(event)
+    return {"event": event_to_dict(event), "priority": int(priority)}
 
 
 def checkpoint_to_dict(
-    controller: FleetController, pending: Sequence[FleetEvent] = ()
+    controller: FleetController,
+    pending: Sequence[FleetEvent | tuple[FleetEvent, int | None]] = (),
 ) -> dict[str, Any]:
-    """Encode a live controller (plus optional *pending* events)."""
+    """Encode a live controller (plus optional *pending* events).
+
+    *pending* entries may be bare events or ``(event, priority)`` pairs
+    -- the latter preserve a work queue's current priorities (see
+    :func:`restore_service`).
+    """
     return {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
@@ -323,14 +424,14 @@ def checkpoint_to_dict(
         "events": [event_to_dict(event) for event in controller.history],
         "log": [record_to_dict(record) for record in controller.log],
         "snapshot": snapshot_to_dict(controller.state.snapshot()),
-        "pending": [event_to_dict(event) for event in pending],
+        "pending": [_pending_entry(item) for item in pending],
     }
 
 
 def write_checkpoint(
     controller: FleetController,
     path: str | Path,
-    pending: Sequence[FleetEvent] = (),
+    pending: Sequence[FleetEvent | tuple[FleetEvent, int | None]] = (),
 ) -> Path:
     """Serialise *controller* to *path*; return the written path."""
     return dump_document(path, checkpoint_to_dict(controller, pending))
@@ -356,6 +457,18 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
         )
     try:
         clock_doc = document.get("clock") or {"kind": "step"}
+        pending_events: list[FleetEvent] = []
+        pending_priorities: list[int | None] = []
+        for entry in document.get("pending", []):
+            if isinstance(entry, Mapping) and "event" in entry:
+                pending_events.append(event_from_dict(entry["event"]))
+                priority = entry.get("priority")
+                pending_priorities.append(
+                    int(priority) if priority is not None else None
+                )
+            else:
+                pending_events.append(event_from_dict(entry))
+                pending_priorities.append(None)
         return Checkpoint(
             config=config_from_dict(
                 _require(document, "config", "checkpoint")
@@ -370,12 +483,10 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
                 for entry in _require(document, "log", "checkpoint")
             ),
             snapshot_doc=dict(_require(document, "snapshot", "checkpoint")),
-            pending=tuple(
-                event_from_dict(entry)
-                for entry in document.get("pending", [])
-            ),
+            pending=tuple(pending_events),
             deterministic=clock_doc.get("kind") == "step",
             step_s=float(clock_doc.get("step_s", 0.001)),
+            pending_priorities=tuple(pending_priorities),
         )
     except (CodecError, TypeError, AttributeError) as exc:
         raise ValidationError(f"{path}: malformed checkpoint ({exc})") from None
@@ -448,3 +559,30 @@ def restore_controller(
         controller.handle(event)
     _verify_replay(checkpoint, controller, label)
     return controller, checkpoint.pending
+
+
+def restore_service(source: str | Path | Checkpoint):
+    """Rebuild a queue-fronted :class:`~repro.service.queue.FleetService`.
+
+    Runs the verified :func:`restore_controller` replay, then re-seeds a
+    fresh work queue with the checkpointed pending events *at their
+    checkpointed priorities* (bypassing the submission-side
+    reprioritization policies -- the recorded priorities already reflect
+    every boost that had been applied). Draining the restored service
+    therefore processes the remaining work in exactly the order the
+    interrupted one would have.
+    """
+    from repro.service.queue import FleetService
+
+    if isinstance(source, Checkpoint):
+        checkpoint = source
+    else:
+        checkpoint = load_checkpoint(source)
+    controller, _ = restore_controller(checkpoint)
+    service = FleetService(controller)
+    priorities = checkpoint.pending_priorities or (None,) * len(
+        checkpoint.pending
+    )
+    for event, priority in zip(checkpoint.pending, priorities):
+        service.queue.submit(event, priority)
+    return service

@@ -39,6 +39,7 @@ improved the fleet objective.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
@@ -56,16 +57,19 @@ from repro.core.clock import StepClock
 from repro.core.compiled import batch_evaluator_or_none
 from repro.core.cost import PENALTY_MODES
 from repro.core.incremental import MoveEvaluator
+from repro.core.migration import MigrationCostModel
 from repro.core.rng import coerce_rng
 from repro.exceptions import ServiceError
 from repro.network.topology import ServerNetwork
 from repro.service.events import (
+    CapacityDrift,
     DeployRequest,
     FleetEvent,
     ServerFailed,
     ServerJoined,
     Tick,
     UndeployRequest,
+    WorkloadDrift,
 )
 from repro.service.log import FleetLog, FleetMetrics, LogRecord, format_detail
 from repro.service.state import FleetSnapshot, FleetState, load_penalty
@@ -124,6 +128,30 @@ class FleetConfig:
         same batch kernel, so the priced floats -- and therefore the
         applied moves and the decision log -- are byte-identical to the
         serial path. Requires ``use_batch``.
+    migration:
+        Optional :class:`~repro.core.migration.MigrationCostModel`
+        pricing what an applied move *costs* (checkpoint transfer over
+        the current links plus fixed downtime). When set, every
+        rebalance / spreading move is priced and accumulated in
+        :attr:`FleetController.migration_paid`, even at weight 0 --
+        so a migration-blind controller can still be *billed* for its
+        churn in benchmarks without changing a single decision.
+    migration_weight:
+        Weight of the migration cost in the hysteresis acceptance test:
+        a candidate move is accepted only when
+        ``objective_after + migration_weight * move_cost`` undercuts
+        the current objective by more than :attr:`rebalance_min_gain`.
+        0 (the default) keeps decisions byte-identical to a
+        migration-blind controller; > 0 requires :attr:`migration`.
+    rebalance_min_gain:
+        Hysteresis threshold (seconds of objective): moves must clear
+        this net gain to be applied. 0 keeps the historical
+        strictly-improving test (an epsilon of 1e-12).
+    rebalance_cooldown_ticks:
+        Per-tenant cooldown: after a tick rebalance moves one of a
+        tenant's operations, that tenant's operations are not eligible
+        rebalance candidates for this many subsequent ticks --
+        dampening move-it-back oscillation under drift. 0 disables.
     """
 
     algorithm: str = "HeavyOps-LargeMsgs"
@@ -137,6 +165,10 @@ class FleetConfig:
     seed: int = 0
     use_batch: bool = True
     parallel_workers: int = 1
+    migration: MigrationCostModel | None = None
+    migration_weight: float = 0.0
+    rebalance_min_gain: float = 0.0
+    rebalance_cooldown_ticks: int = 0
 
     def __post_init__(self) -> None:
         if self.penalty_mode not in PENALTY_MODES:
@@ -155,6 +187,23 @@ class FleetConfig:
                 "parallel_workers requires use_batch (workers price "
                 "through the batch kernel)"
             )
+        if not (
+            math.isfinite(self.migration_weight)
+            and self.migration_weight >= 0.0
+        ):
+            raise ServiceError("migration_weight must be finite and >= 0")
+        if self.migration_weight > 0.0 and self.migration is None:
+            raise ServiceError(
+                "migration_weight > 0 needs a MigrationCostModel "
+                "(set FleetConfig.migration)"
+            )
+        if not (
+            math.isfinite(self.rebalance_min_gain)
+            and self.rebalance_min_gain >= 0.0
+        ):
+            raise ServiceError("rebalance_min_gain must be finite and >= 0")
+        if self.rebalance_cooldown_ticks < 0:
+            raise ServiceError("rebalance_cooldown_ticks must be >= 0")
 
 
 class FleetController:
@@ -209,6 +258,13 @@ class FleetController:
         self.last_rebalance_report: SearchReport | None = None
         self._active_rebalance_cancel: CancelToken | None = None
         self._pricing_runtime = None
+        #: Cumulative migration cost (seconds) of every applied move,
+        #: priced by :attr:`FleetConfig.migration`. Tracked whenever a
+        #: migration model is configured -- weight 0 included -- so a
+        #: migration-blind run can still be billed for its churn.
+        self.migration_paid = 0.0
+        # tenant -> remaining ticks it is excluded from rebalancing
+        self._tenant_cooldowns: dict[str, int] = {}
 
     def close(self) -> None:
         """Release the pricing worker pool, if one was started."""
@@ -261,6 +317,10 @@ class FleetController:
             subject, action, details = self._on_server_failed(event)
         elif isinstance(event, ServerJoined):
             subject, action, details = self._on_server_joined(event)
+        elif isinstance(event, WorkloadDrift):
+            subject, action, details = self._on_workload_drift(event)
+        elif isinstance(event, CapacityDrift):
+            subject, action, details = self._on_capacity_drift(event)
         elif isinstance(event, Tick):
             subject, action, details = self._on_tick(event)
         else:
@@ -297,11 +357,17 @@ class FleetController:
         """The controller's clock (checkpointing serialises StepClocks)."""
         return self._clock
 
-    def checkpoint(self, path, pending: Sequence[FleetEvent] = ()):
+    def checkpoint(
+        self,
+        path,
+        pending: Sequence[FleetEvent | tuple[FleetEvent, int | None]] = (),
+    ):
         """Write a durable checkpoint of this controller to *path*.
 
         *pending* optionally records not-yet-processed events (e.g. the
-        queued remainder of a scenario) so a restore can resume them.
+        queued remainder of a scenario) so a restore can resume them;
+        entries may be bare events or ``(event, priority)`` pairs when
+        a work queue's current priorities must survive the round trip.
         See :mod:`repro.service.checkpoint` for the format.
         """
         from repro.service.checkpoint import write_checkpoint
@@ -373,10 +439,44 @@ class FleetController:
         if event.tenant not in self.state:
             return event.tenant, "rejected", {"reason": "unknown-tenant"}
         record = self.state.remove_tenant(event.tenant)
+        self._tenant_cooldowns.pop(event.tenant, None)
         return (
             event.tenant,
             "removed",
             {"operations": format_detail(len(record.workflow))},
+        )
+
+    def _on_workload_drift(
+        self, event: WorkloadDrift
+    ) -> tuple[str, str, dict[str, str]]:
+        state = self.state
+        if event.tenant not in state:
+            return event.tenant, "rejected", {"reason": "unknown-tenant"}
+        hosted = state.tenant(event.tenant).workflow
+        if sorted(event.workflow.operation_names) != sorted(
+            hosted.operation_names
+        ):
+            return event.tenant, "rejected", {"reason": "operations-changed"}
+        state.update_tenant_workflow(event.tenant, event.workflow)
+        return (
+            event.tenant,
+            "drifted",
+            {"operations": format_detail(len(event.workflow))},
+        )
+
+    def _on_capacity_drift(
+        self, event: CapacityDrift
+    ) -> tuple[str, str, dict[str, str]]:
+        state = self.state
+        if event.server not in state.network:
+            return event.server, "rejected", {"reason": "unknown-server"}
+        if not (math.isfinite(event.power_hz) and event.power_hz > 0):
+            return event.server, "rejected", {"reason": "bad-power"}
+        state.set_server_power(event.server, event.power_hz)
+        return (
+            event.server,
+            "rescaled",
+            {"power_hz": format_detail(event.power_hz)},
         )
 
     def _on_server_failed(
@@ -411,7 +511,7 @@ class FleetController:
             event.link_speed_bps,
             event.propagation_s,
         )
-        moves, before, after = self._greedy_moves(
+        moves, before, after, _ = self._greedy_moves(
             targets=(event.server,),
             candidates=self._all_operations,
             max_moves=self.config.max_moves_per_rebalance,
@@ -436,12 +536,22 @@ class FleetController:
         else:
             drift = 0.0
         if drift <= self.config.drift_threshold:
+            self._decay_cooldowns()
             return "fleet", "steady", {"drift": format_detail(drift)}
-        moves, before, after = self._greedy_moves(
+        moves, before, after, migration_total = self._greedy_moves(
             targets=None,
             candidates=self._busiest_server_operations,
             max_moves=self.config.max_moves_per_rebalance,
         )
+        # cooldown bookkeeping: candidates were filtered against the
+        # *pre-decrement* counters, so a cooldown of N skips exactly N
+        # ticks; tenants moved this tick start their cooldown afresh
+        self._decay_cooldowns()
+        if self.config.rebalance_cooldown_ticks > 0:
+            for tenant, _operation, _source, _target in moves:
+                self._tenant_cooldowns[tenant] = (
+                    self.config.rebalance_cooldown_ticks
+                )
         details = {
             "drift": format_detail(drift),
             "churn": format_detail(len(moves)),
@@ -449,10 +559,33 @@ class FleetController:
             "objective_after": format_detail(after),
             "gain": format_detail(before - after),
         }
+        if self._transition_aware:
+            details["migration"] = format_detail(migration_total)
+            details["net_gain"] = format_detail(
+                before - after
+                - self.config.migration_weight * migration_total
+            )
         report = self.last_rebalance_report
         if report is not None and not report.exhausted:
             details["stopped"] = report.stop_reason
         return "fleet", "rebalanced", details
+
+    @property
+    def _transition_aware(self) -> bool:
+        """True when migration cost changes rebalance decisions."""
+        return (
+            self.config.migration is not None
+            and self.config.migration_weight > 0.0
+        )
+
+    def _decay_cooldowns(self) -> None:
+        """One tick elapsed: count every tenant cooldown down by one."""
+        for tenant in list(self._tenant_cooldowns):
+            remaining = self._tenant_cooldowns[tenant] - 1
+            if remaining <= 0:
+                del self._tenant_cooldowns[tenant]
+            else:
+                self._tenant_cooldowns[tenant] = remaining
 
     # ------------------------------------------------------------------
     # placement / rebalancing machinery
@@ -503,6 +636,7 @@ class FleetController:
         return [
             (tenant, operation)
             for tenant in self.state.tenants
+            if self._tenant_cooldowns.get(tenant, 0) <= 0
             for operation in (
                 self.state.tenant(tenant).deployment.operations_on(busiest)
             )
@@ -513,7 +647,7 @@ class FleetController:
         targets: Sequence[str] | None,
         candidates: Callable[[dict[str, float]], list[tuple[str, str]]],
         max_moves: int,
-    ) -> tuple[list[tuple[str, str, str, str]], float, float]:
+    ) -> tuple[list[tuple[str, str, str, str]], float, float, float]:
         """Apply up to *max_moves* objective-improving single-op moves.
 
         *candidates* maps the current combined loads to the (tenant,
@@ -521,8 +655,20 @@ class FleetController:
         destination servers (``None`` = any server). Each applied move is
         the best strictly-improving candidate under the fleet objective;
         the loop stops early when no candidate improves. Returns the
-        moves ``(tenant, operation, source, target)`` plus the objective
-        before and after -- the churn-vs-gain numbers the log reports.
+        moves ``(tenant, operation, source, target)``, the objective
+        before and after -- the churn-vs-gain numbers the log reports --
+        and the summed migration cost of the applied moves (0.0 without
+        a migration model).
+
+        With a :attr:`FleetConfig.migration` model at weight > 0 the
+        acceptance test is *hysteretic*: a candidate's score is its
+        objective plus the weighted one-time cost of moving that
+        operation's state over the current links, and it must undercut
+        the standing objective by :attr:`FleetConfig.rebalance_min_gain`
+        -- churn that does not pay for itself is left alone. At weight 0
+        the historical strictly-improving comparison is preserved bit
+        for bit (migration cost is still *billed* into
+        :attr:`migration_paid` when a model is configured).
 
         Per-tenant execution times are priced in bulk through each
         tenant's shared :class:`~repro.core.batch.BatchEvaluator`: one
@@ -560,13 +706,39 @@ class FleetController:
             self.evaluations += 1
             execution = max(execs.values(), default=0.0)
             penalty = load_penalty(list(load_map.values()), state.penalty_mode)
-            return (
-                state.execution_weight * execution
-                + state.penalty_weight * penalty
+            # the one fleet-level combine, shared with FleetState.snapshot
+            return state.objective_value(execution, penalty)
+
+        migration_model = self.config.migration
+        aware = self._transition_aware
+        # min_gain == 0 keeps the historical strict-improvement epsilon
+        threshold = (
+            self.config.rebalance_min_gain
+            if self.config.rebalance_min_gain > 0.0
+            else 1e-12
+        )
+
+        def move_cost(
+            tenant: str, operation: str, source: str, target: str
+        ) -> float:
+            """One-time cost of moving *operation*'s state to *target*.
+
+            Checkpoint transfer over the fleet's current links (routed
+            through the tenant's compiled instance) plus the model's
+            fixed downtime. State size scales with the operation's raw
+            cycle count -- probability never shrinks a checkpoint.
+            """
+            compiled = state.cost_model(tenant).compiled
+            op = compiled.op_index[operation]
+            return migration_model.downtime_s + compiled.delay(
+                compiled.server_index[source],
+                compiled.server_index[target],
+                migration_model.state_bits(compiled.cycles[op]),
             )
 
         current = objective(exec_times, loads)
         before = current
+        migration_total = 0.0
         moves: list[tuple[str, str, str, str]] = []
 
         def price_candidates(
@@ -643,7 +815,7 @@ class FleetController:
             return priced
 
         def steps() -> Iterator[SearchStep]:
-            nonlocal current, loads
+            nonlocal current, loads, migration_total
             yield SearchStep(current, lambda: tuple(moves), evals=1)
             for _ in range(max_moves):
                 best: tuple | None = None
@@ -680,17 +852,29 @@ class FleetController:
                         trial_execs[tenant] = tenant_exec
                         value = objective(trial_execs, trial_loads)
                         scanned += 1
-                        if value < current - 1e-12 and (
-                            best is None or value < best[0]
+                        if aware:
+                            cost = move_cost(
+                                tenant, operation, source, target
+                            )
+                            net = value + (
+                                self.config.migration_weight * cost
+                            )
+                        else:
+                            cost = 0.0
+                            net = value
+                        if net < current - threshold and (
+                            best is None or net < best[0]
                         ):
                             best = (
-                                value,
+                                net,
                                 tenant,
                                 operation,
                                 source,
                                 target,
                                 tenant_exec,
                                 trial_loads,
+                                value,
+                                cost,
                             )
                 if best is None:
                     yield SearchStep(
@@ -700,13 +884,23 @@ class FleetController:
                         rejected=scanned,
                     )
                     break
-                (value, tenant, operation, source, target,
-                 tenant_exec, new_loads) = best
+                (_net, tenant, operation, source, target,
+                 tenant_exec, new_loads, value, cost) = best
+                if migration_model is not None and not aware:
+                    # weight 0: the move was chosen blind, but its cost
+                    # is still billed (benchmarks charge naive churn)
+                    cost = move_cost(tenant, operation, source, target)
                 # apply() assigns into the tenant's live deployment too
                 evaluators[tenant].apply(operation, target)
                 exec_times[tenant] = tenant_exec
+                # the standing objective never carries the one-time
+                # migration term -- hysteresis compares future nets
+                # against the objective actually achieved
                 current = value
                 loads = new_loads
+                if migration_model is not None:
+                    migration_total += cost
+                    self.migration_paid += cost
                 moves.append((tenant, operation, source, target))
                 yield SearchStep(
                     current,
@@ -728,7 +922,7 @@ class FleetController:
         finally:
             self._active_rebalance_cancel = None
         self.last_rebalance_report = outcome.report
-        return moves, before, current
+        return moves, before, current, migration_total
 
     # ------------------------------------------------------------------
     # metrics
@@ -773,4 +967,5 @@ class FleetController:
             final_time_penalty=snapshot.time_penalty,
             final_balance_index=snapshot.balance_index,
             tenants_hosted=snapshot.tenants,
+            migration_paid=self.migration_paid,
         )

@@ -24,6 +24,8 @@ __all__ = [
     "UndeployRequest",
     "ServerFailed",
     "ServerJoined",
+    "WorkloadDrift",
+    "CapacityDrift",
     "Tick",
 ]
 
@@ -111,6 +113,60 @@ class ServerJoined(FleetEvent):
     power_hz: float
     link_speed_bps: float
     propagation_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadDrift(FleetEvent):
+    """A tenant's workload parameters drifted.
+
+    The replacement workflow must keep the *same operation names* (the
+    controller rejects the event otherwise): drift perturbs message
+    sizes, XOR branch probabilities or cycle counts, it does not change
+    the workflow's shape, so the tenant's current placement stays valid
+    and only its cost model needs recompiling. Whether the fleet then
+    *acts* on the new numbers is the tick rebalancer's decision -- this
+    event only updates what the fleet believes about the workload.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose workload drifted.
+    workflow:
+        The drifted workflow (see
+        :func:`repro.service.scenarios.drift_workflow`).
+    """
+
+    kind = "workload-drift"
+
+    tenant: str
+    workflow: Workflow
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ServiceError("WorkloadDrift needs a non-empty tenant name")
+
+
+@dataclass(frozen=True)
+class CapacityDrift(FleetEvent):
+    """A server's effective capacity changed.
+
+    Models throttling, contention from co-located workloads, or a
+    hardware upgrade: the server keeps its links and its hosted
+    operations, only ``P(s)`` changes. Every tenant's cost model is
+    recompiled (capacity enters every ``Tproc`` table).
+
+    Attributes
+    ----------
+    server:
+        The affected server; must be live.
+    power_hz:
+        The new computational power ``P(s)`` (> 0).
+    """
+
+    kind = "capacity-drift"
+
+    server: str
+    power_hz: float
 
 
 @dataclass(frozen=True)

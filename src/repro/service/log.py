@@ -212,6 +212,11 @@ class FleetMetrics:
         The closing :class:`~repro.service.state.FleetSnapshot` scalars.
     final_balance_index, tenants_hosted:
         Closing balance index and tenant count.
+    migration_paid:
+        Cumulative migration cost (seconds) of every rebalance /
+        spreading move applied so far, priced by the controller's
+        :class:`~repro.core.migration.MigrationCostModel`. Stays 0.0
+        when the controller has no migration model configured.
     """
 
     events: int
@@ -237,6 +242,7 @@ class FleetMetrics:
     final_time_penalty: float
     final_balance_index: float
     tenants_hosted: int
+    migration_paid: float = 0.0
 
     @property
     def router_hit_rate(self) -> float:
@@ -295,6 +301,12 @@ class FleetMetrics:
             ["final balance index", f"{self.final_balance_index:.4f}"]
         )
         table.add_row(["tenants hosted", self.tenants_hosted])
+        if self.migration_paid:
+            # only rendered when a migration model priced actual moves,
+            # so migration-free runs keep their byte-identical table
+            table.add_row(
+                ["migration paid", format_seconds(self.migration_paid)]
+            )
         return table
 
     def to_text(self) -> str:

@@ -52,12 +52,14 @@ from typing import Callable, Iterator, Mapping
 from repro.exceptions import ReproError, ServiceError
 from repro.service.controller import FleetController
 from repro.service.events import (
+    CapacityDrift,
     DeployRequest,
     FleetEvent,
     ServerFailed,
     ServerJoined,
     Tick,
     UndeployRequest,
+    WorkloadDrift,
 )
 from repro.service.log import LogRecord
 
@@ -84,12 +86,16 @@ DONE = "done"
 FAILED = "failed"
 
 #: Default admission priority per event kind (lower pops first).
-#: Failovers outrank everything; capacity joins beat tenant churn;
-#: drift checks run after the queue of arrivals drains.
+#: Failovers outrank everything; capacity changes (drift and joins)
+#: beat tenant churn -- stale capacity beliefs poison every placement
+#: decision behind them; workload drift lands between departures and
+#: arrivals; drift checks run after the queue of arrivals drains.
 DEFAULT_PRIORITIES: Mapping[str, int] = {
     ServerFailed.kind: 0,
     ServerJoined.kind: 20,
+    CapacityDrift.kind: 25,
     UndeployRequest.kind: 40,
+    WorkloadDrift.kind: 50,
     DeployRequest.kind: 60,
     Tick.kind: 80,
 }

@@ -19,25 +19,40 @@ Three builtin scenarios cover the interesting regimes:
 ``surge``
     A 200-event trace over a 20-server fleet -- the benchmark scenario
     for events/second throughput and shared-cache hit rates.
+``drift``
+    Workload and capacity parameters drifting round after round on a
+    6-server fleet under a tight rebalance trigger -- the scenario the
+    migration benchmarks replay with and without a transition-aware
+    objective (see :mod:`repro.core.migration`).
+
+:func:`drift_workflow` and :func:`drift_capacity` are the seeded
+perturbation helpers behind the ``drift`` trace: shape-preserving
+multiplicative noise on message sizes / XOR branch probabilities and on
+a server's power. Zero amplitude is an exact no-op that draws nothing
+from the RNG.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.core.rng import coerce_rng
+from repro.core.workflow import NodeKind, Workflow
 from repro.exceptions import ServiceError
 from repro.network.topology import ServerNetwork
 from repro.service.controller import FleetConfig, FleetController, StepClock
 from repro.service.events import (
+    CapacityDrift,
     DeployRequest,
     FleetEvent,
     ServerFailed,
     ServerJoined,
     Tick,
     UndeployRequest,
+    WorkloadDrift,
 )
 from repro.workloads.generator import (
     GraphStructure,
@@ -46,7 +61,14 @@ from repro.workloads.generator import (
     random_graph_workflow,
 )
 
-__all__ = ["Scenario", "builtin_scenarios", "build_scenario", "replay"]
+__all__ = [
+    "Scenario",
+    "builtin_scenarios",
+    "build_scenario",
+    "drift_capacity",
+    "drift_workflow",
+    "replay",
+]
 
 
 @dataclass(frozen=True)
@@ -212,10 +234,132 @@ def _build_surge(seed: int) -> Scenario:
     )
 
 
+def _validated_amplitude(amplitude: float) -> float:
+    """Shared bounds check for the drift helpers."""
+    if not (math.isfinite(amplitude) and 0.0 <= amplitude < 1.0):
+        raise ServiceError(
+            f"drift amplitude must lie in [0, 1), got {amplitude!r}"
+        )
+    return amplitude
+
+
+def drift_workflow(
+    workflow: Workflow,
+    rng: random.Random,
+    amplitude: float,
+    name: str | None = None,
+) -> Workflow:
+    """A shape-preserving drifted copy of *workflow*.
+
+    Every message size is multiplied by a factor drawn uniformly from
+    ``[1 - amplitude, 1 + amplitude]`` (floored at one bit), and each
+    XOR split's branch probabilities are perturbed the same way and
+    renormalised to sum to 1. Operation names, edges and cycle counts
+    are untouched, so the result satisfies the
+    :class:`~repro.service.events.WorkloadDrift` contract: the tenant's
+    current placement stays valid and only the cost model changes.
+
+    Deterministic in ``(workflow, rng state, amplitude)``; amplitude 0
+    returns an exact copy *without drawing from the RNG*, so a
+    zero-amplitude drift is a replay no-op.
+    """
+    _validated_amplitude(amplitude)
+    clone = workflow.copy(name or workflow.name)
+    if amplitude == 0.0:
+        return clone
+    for message in clone.messages:
+        factor = 1.0 + amplitude * rng.uniform(-1.0, 1.0)
+        clone.replace_message(
+            replace(message, size_bits=max(1.0, message.size_bits * factor))
+        )
+    for operation in clone.operations:
+        if operation.kind is not NodeKind.XOR_SPLIT:
+            continue
+        branches = clone.outgoing(operation.name)
+        raw = [
+            max(
+                1e-6,
+                m.probability * (1.0 + amplitude * rng.uniform(-1.0, 1.0)),
+            )
+            for m in branches
+        ]
+        total = sum(raw)
+        for message, weight in zip(branches, raw):
+            clone.replace_message(
+                replace(message, probability=weight / total)
+            )
+    clone.validate_xor_probabilities()
+    return clone
+
+
+def drift_capacity(
+    power_hz: float, rng: random.Random, amplitude: float
+) -> float:
+    """A drifted server power: multiplicative noise, floored at 1 MHz.
+
+    Same contract as :func:`drift_workflow`: deterministic in the RNG
+    state, and amplitude 0 returns *power_hz* unchanged without
+    consuming randomness.
+    """
+    _validated_amplitude(amplitude)
+    if amplitude == 0.0:
+        return power_hz
+    return max(1e6, power_hz * (1.0 + amplitude * rng.uniform(-1.0, 1.0)))
+
+
+def _build_drift(seed: int) -> Scenario:
+    """Six tenants under six rounds of cumulative parameter drift."""
+    rng = coerce_rng(seed)
+    network = random_bus_network(
+        6, seed=rng.randrange(2**31), name="fleet-drift"
+    )
+    server_names = tuple(network.server_names)
+    powers = {name: network.server(name).power_hz for name in server_names}
+    workflows: dict[str, Workflow] = {}
+    events: list[FleetEvent] = []
+    for index in range(1, 7):
+        tenant = f"tenant-{index:03d}"
+        workflows[tenant] = _tenant_workflow(rng, index, graph_share=0.5)
+        events.append(DeployRequest(tenant, workflows[tenant]))
+    events.append(Tick())
+    for round_index in range(6):
+        # drift compounds: each round perturbs the previous round's
+        # parameters, so the fleet's beliefs keep aging
+        for tenant in sorted(workflows):
+            workflows[tenant] = drift_workflow(
+                workflows[tenant], rng, amplitude=0.25
+            )
+            events.append(WorkloadDrift(tenant, workflows[tenant]))
+        if round_index % 2 == 1:
+            server = server_names[rng.randrange(len(server_names))]
+            powers[server] = drift_capacity(
+                powers[server], rng, amplitude=0.3
+            )
+            events.append(CapacityDrift(server, powers[server]))
+        events.append(Tick())
+    # a hair-trigger rebalance threshold: without hysteresis the
+    # controller chases every drifted estimate, which is exactly the
+    # churn the migration-aware objective is meant to damp
+    config = FleetConfig(
+        drift_threshold=0.02, max_moves_per_rebalance=4, seed=seed
+    )
+    return Scenario(
+        name="drift",
+        description=(
+            "6 tenants, 6 rounds of workload/capacity drift, "
+            "tick rebalances on a hair trigger"
+        ),
+        network=network,
+        config=config,
+        events=tuple(events),
+    )
+
+
 _BUILTIN: dict[str, Callable[[int], Scenario]] = {
     "steady": _build_steady,
     "churn": _build_churn,
     "surge": _build_surge,
+    "drift": _build_drift,
 }
 
 
@@ -240,20 +384,13 @@ def build_scenario(
         ) from None
     scenario = builder(seed)
     if algorithm is not None:
+        # dataclasses.replace keeps every other policy knob -- the old
+        # field-by-field rebuild silently dropped newer config fields
         scenario = Scenario(
             name=scenario.name,
             description=scenario.description,
             network=scenario.network,
-            config=FleetConfig(
-                algorithm=algorithm,
-                admission_load_limit_s=scenario.config.admission_load_limit_s,
-                drift_threshold=scenario.config.drift_threshold,
-                max_moves_per_rebalance=scenario.config.max_moves_per_rebalance,
-                execution_weight=scenario.config.execution_weight,
-                penalty_weight=scenario.config.penalty_weight,
-                penalty_mode=scenario.config.penalty_mode,
-                seed=scenario.config.seed,
-            ),
+            config=replace(scenario.config, algorithm=algorithm),
             events=scenario.events,
         )
     return scenario

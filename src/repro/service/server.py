@@ -161,7 +161,9 @@ class FleetApp:
                 return 400, {
                     "error": "POST /checkpoint needs a 'path' field"
                 }
-            pending = [job.event for job in service.queue.queued()]
+            pending = [
+                (job.event, job.priority) for job in service.queue.queued()
+            ]
             written = service.controller.checkpoint(path, pending=pending)
             return 200, {
                 "path": str(written),
@@ -180,7 +182,10 @@ class FleetApp:
 
         return checkpoint_to_dict(
             self.service.controller,
-            pending=[job.event for job in self.service.queue.queued()],
+            pending=[
+                (job.event, job.priority)
+                for job in self.service.queue.queued()
+            ],
         )
 
 

@@ -32,6 +32,7 @@ from typing import Mapping
 from repro.core.compiled import penalty_statistic
 from repro.core.cost import PENALTY_MODES, CostModel
 from repro.core.mapping import Deployment
+from repro.core.migration import TransitionObjective
 from repro.core.workflow import Workflow
 from repro.exceptions import ServiceError
 from repro.experiments.failover import remove_server
@@ -156,6 +157,15 @@ class FleetState:
         self.execution_weight = execution_weight
         self.penalty_weight = penalty_weight
         self.penalty_mode = penalty_mode
+        #: The fleet-level objective specification. Migration is a
+        #: *transition* cost priced per candidate move by the controller,
+        #: not a recurring property of the standing fleet, so the
+        #: fleet-state spec never carries a migration term itself.
+        self.objective = TransitionObjective(
+            execution_weight=execution_weight,
+            penalty_weight=penalty_weight,
+            penalty_mode=penalty_mode,
+        )
         self._router = InstrumentedRouter(network)
         self._tenants: dict[str, TenantDeployment] = {}
         self._cost_models: dict[str, CostModel] = {}
@@ -225,6 +235,31 @@ class FleetState:
         del self._tenants[tenant]
         self._cost_models.pop(tenant, None)
         return record
+
+    def update_tenant_workflow(
+        self, tenant: str, workflow: Workflow
+    ) -> TenantDeployment:
+        """Replace a hosted tenant's workflow with a drifted version.
+
+        The replacement must keep exactly the same operation names (the
+        shape-preserving drift contract of
+        :class:`~repro.service.events.WorkloadDrift`), so the tenant's
+        current placement stays valid and only *its* cost model is
+        recompiled -- the topology epoch and every other tenant's cache
+        are untouched.
+        """
+        record = self.tenant(tenant)
+        if sorted(workflow.operation_names) != sorted(
+            record.workflow.operation_names
+        ):
+            raise ServiceError(
+                f"workload drift for tenant {tenant!r} must keep the same "
+                f"operation names"
+            )
+        updated = TenantDeployment(tenant, workflow, record.deployment)
+        self._tenants[tenant] = updated
+        self._cost_models.pop(tenant, None)
+        return updated
 
     # ------------------------------------------------------------------
     # shared evaluation caches
@@ -330,6 +365,16 @@ class FleetState:
             for server in self._network
         }
 
+    def objective_value(self, execution: float, penalty: float) -> float:
+        """The fleet scalar objective from its two components.
+
+        The single fleet-level combine -- shared by :meth:`snapshot` and
+        the controller's rebalance pricing (both formerly inlined the
+        formula) -- delegating to the state's
+        :class:`~repro.core.migration.TransitionObjective`.
+        """
+        return self.objective.value(execution, penalty)
+
     def combined_loads(self) -> dict[str, float]:
         """Per-server load in seconds summed over every tenant."""
         totals = {name: 0.0 for name in self._network.server_names}
@@ -354,10 +399,7 @@ class FleetState:
         return FleetSnapshot(
             execution_time=execution,
             time_penalty=penalty,
-            objective=(
-                self.execution_weight * execution
-                + self.penalty_weight * penalty
-            ),
+            objective=self.objective_value(execution, penalty),
             loads=loads,
             balance_index=jain_index(loads),
             tenants=len(self._tenants),
@@ -418,3 +460,16 @@ class FleetState:
             self._network.add_link(link)
         self._invalidate_caches()
         return joined
+
+    def set_server_power(self, server: str, power_hz: float) -> Server:
+        """Change a live server's capacity; links and placements survive.
+
+        The replacement :class:`~repro.network.topology.Server` is
+        constructed (and validated) first, then swapped in place --
+        capacity enters every tenant's ``Tproc`` table, so all
+        evaluation caches are invalidated.
+        """
+        self._network.server(server)  # raise early on unknown names
+        updated = self._network.replace_server(Server(server, power_hz))
+        self._invalidate_caches()
+        return updated

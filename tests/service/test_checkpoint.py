@@ -9,6 +9,7 @@ import pytest
 from repro.algorithms.runtime import SearchBudget
 from repro.core.clock import StepClock
 from repro.exceptions import ValidationError
+from repro.core.migration import MigrationCostModel
 from repro.service.checkpoint import (
     Checkpoint,
     budget_from_dict,
@@ -18,21 +19,27 @@ from repro.service.checkpoint import (
     event_from_dict,
     event_to_dict,
     load_checkpoint,
+    migration_from_dict,
+    migration_to_dict,
     record_from_dict,
     record_to_dict,
     restore_controller,
+    restore_service,
     snapshot_from_dict,
     snapshot_to_dict,
     write_checkpoint,
 )
 from repro.service.controller import FleetConfig, FleetController
 from repro.service.events import (
+    CapacityDrift,
     DeployRequest,
     ServerFailed,
     ServerJoined,
     Tick,
     UndeployRequest,
+    WorkloadDrift,
 )
+from repro.service.queue import FleetService
 from repro.service.scenarios import build_scenario, replay
 
 from .conftest import make_line
@@ -58,6 +65,8 @@ class TestEventCodec:
             UndeployRequest("gamma"),
             ServerFailed("S2"),
             ServerJoined("S9", 2e9, 5e7, propagation_s=0.001),
+            WorkloadDrift("alpha", make_line("alpha", [15e6, 25e6])),
+            CapacityDrift("S3", 1.25e9),
             Tick(),
         ],
     )
@@ -253,3 +262,137 @@ class TestCrashRestoreResume:
         restored, _ = restore_controller(first)
         second = write_checkpoint(restored, tmp_path / "two.json")
         assert first.read_text() == second.read_text()
+
+
+class TestMigrationCodec:
+    MODEL = MigrationCostModel(
+        state_bits_per_cycle=0.25, state_bits_base=5e5, downtime_s=0.02
+    )
+
+    def test_none_passes_through(self):
+        assert migration_to_dict(None) is None
+        assert migration_from_dict(None) is None
+
+    def test_model_round_trips(self):
+        document = json.loads(json.dumps(migration_to_dict(self.MODEL)))
+        assert migration_from_dict(document) == self.MODEL
+
+    def test_config_round_trips_the_policy_knobs(self):
+        config = FleetConfig(
+            migration=self.MODEL,
+            migration_weight=0.05,
+            rebalance_min_gain=1e-4,
+            rebalance_cooldown_ticks=3,
+        )
+        document = json.loads(json.dumps(config_to_dict(config)))
+        assert config_from_dict(document) == config
+
+    def test_pre_migration_documents_decode_with_defaults(self):
+        document = config_to_dict(FleetConfig())
+        for key in (
+            "migration",
+            "migration_weight",
+            "rebalance_min_gain",
+            "rebalance_cooldown_ticks",
+        ):
+            document.pop(key, None)
+        config = config_from_dict(document)
+        assert config.migration is None
+        assert config.migration_weight == 0.0
+        assert config.rebalance_min_gain == 0.0
+        assert config.rebalance_cooldown_ticks == 0
+
+
+class TestPendingPriorities:
+    """Regression: checkpoints must carry pending-job *priorities*.
+
+    Restoring used to re-submit pending events at their kind's default
+    priority, silently reordering any queue whose jobs had been boosted
+    (operator overrides, failure preemption) -- the resumed run then
+    replayed decisions in a different order than the interrupted one
+    would have.
+    """
+
+    def _drift_service(self):
+        """A fleet service mid-way through the drift scenario.
+
+        The first chunk of events is drained; the rest sits queued with
+        deliberately scrambled explicit priorities (so default-priority
+        resubmission would provably reorder it).
+        """
+        scenario = build_scenario("drift", seed=0)
+        controller = FleetController(
+            scenario.network, config=scenario.config, clock=StepClock()
+        )
+        service = FleetService(controller)
+        cut = len(scenario.events) // 2
+        for event in scenario.events[:cut]:
+            service.submit(event)
+        service.drain()
+        for index, event in enumerate(scenario.events[cut:]):
+            priority = (index * 7) % 5 if index % 3 else None
+            service.submit(event, priority)
+        return service
+
+    def _queued_pairs(self, service):
+        return [(job.event, job.priority) for job in service.queue.queued()]
+
+    def test_priorities_survive_the_codec(self, tmp_path):
+        service = self._drift_service()
+        pairs = self._queued_pairs(service)
+        assert len({priority for _event, priority in pairs}) > 1
+        path = write_checkpoint(
+            service.controller, tmp_path / "mid.json", pending=pairs
+        )
+        checkpoint = load_checkpoint(path)
+        assert len(checkpoint.pending) == len(pairs)
+        assert checkpoint.pending_priorities == tuple(
+            priority for _event, priority in pairs
+        )
+
+    def test_bare_events_load_with_default_priorities(self, tmp_path):
+        controller = replay("steady", seed=2)
+        path = write_checkpoint(
+            controller, tmp_path / "bare.json", pending=[Tick(), Tick()]
+        )
+        checkpoint = load_checkpoint(path)
+        assert len(checkpoint.pending) == 2
+        assert checkpoint.pending_priorities == (None, None)
+        restored = restore_service(checkpoint)
+        defaults = [job.priority for job in restored.queue.queued()]
+        assert len(defaults) == 2
+
+    def test_restored_queue_replays_in_checkpointed_order(self, tmp_path):
+        service = self._drift_service()
+        pairs = self._queued_pairs(service)
+        path = write_checkpoint(
+            service.controller, tmp_path / "mid.json", pending=pairs
+        )
+        restored = restore_service(path)
+        # events lack value equality (workflows compare by identity), so
+        # compare through the codec
+        encoded = [
+            (event_to_dict(event), priority) for event, priority in pairs
+        ]
+        assert [
+            (event_to_dict(event), priority)
+            for event, priority in self._queued_pairs(restored)
+        ] == encoded
+
+    def test_resumed_decisions_are_byte_identical(self, tmp_path):
+        service = self._drift_service()
+        pairs = self._queued_pairs(service)
+        path = write_checkpoint(
+            service.controller, tmp_path / "mid.json", pending=pairs
+        )
+        restored = restore_service(path)
+        service.drain()
+        restored.drain()
+        assert (
+            restored.controller.log.to_text()
+            == service.controller.log.to_text()
+        )
+        assert (
+            restored.controller.state.snapshot()
+            == service.controller.state.snapshot()
+        )

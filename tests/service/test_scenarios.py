@@ -1,14 +1,26 @@
 """Tests for the built-in fleet scenarios and the replay driver."""
 
+import random
+
 import pytest
 
 from repro.exceptions import ServiceError
-from repro.service.scenarios import build_scenario, builtin_scenarios, replay
+from repro.io.json_codec import workflow_to_dict
+from repro.service.events import CapacityDrift, WorkloadDrift
+from repro.service.scenarios import (
+    build_scenario,
+    builtin_scenarios,
+    drift_capacity,
+    drift_workflow,
+    replay,
+)
+
+from .conftest import make_line
 
 
 class TestCatalogue:
     def test_builtin_names(self):
-        assert builtin_scenarios() == ("steady", "churn", "surge")
+        assert builtin_scenarios() == ("steady", "churn", "surge", "drift")
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ServiceError, match="unknown scenario"):
@@ -49,3 +61,106 @@ class TestReplay:
         assert all(
             record.detail("algorithm") == "FairLoad" for record in admitted
         )
+
+
+class TestDriftWorkflow:
+    def test_deterministic_in_the_rng_state(self, xor_diamond):
+        first = drift_workflow(xor_diamond, random.Random(42), 0.5)
+        second = drift_workflow(xor_diamond, random.Random(42), 0.5)
+        assert workflow_to_dict(first) == workflow_to_dict(second)
+        # a different stream produces a genuinely different drift
+        other = drift_workflow(xor_diamond, random.Random(43), 0.5)
+        assert workflow_to_dict(other) != workflow_to_dict(first)
+
+    def test_preserves_shape_and_cycles(self, xor_diamond):
+        drifted = drift_workflow(xor_diamond, random.Random(7), 0.9)
+        assert drifted.operation_names == xor_diamond.operation_names
+        for name in xor_diamond.operation_names:
+            assert (
+                drifted.operation(name).cycles
+                == xor_diamond.operation(name).cycles
+            )
+        assert len(drifted.messages) == len(xor_diamond.messages)
+
+    def test_sizes_floored_and_probabilities_renormalised(self, xor_diamond):
+        rng = random.Random(3)
+        for _ in range(20):
+            drifted = drift_workflow(xor_diamond, rng, 0.95)
+            for message in drifted.messages:
+                assert message.size_bits >= 1.0
+            branches = drifted.outgoing("choice")
+            assert sum(m.probability for m in branches) == pytest.approx(1.0)
+            assert all(m.probability > 0 for m in branches)
+
+    def test_zero_amplitude_is_a_copy_without_rng_draws(self, xor_diamond):
+        rng = random.Random(11)
+        state = rng.getstate()
+        copy = drift_workflow(xor_diamond, rng, 0.0)
+        assert rng.getstate() == state  # not one draw consumed
+        assert copy is not xor_diamond
+        assert workflow_to_dict(copy) == workflow_to_dict(xor_diamond)
+
+    def test_rename_applies(self):
+        workflow = make_line("alpha", [10e6, 20e6])
+        drifted = drift_workflow(
+            workflow, random.Random(0), 0.25, name="alpha-v2"
+        )
+        assert drifted.name == "alpha-v2"
+
+    @pytest.mark.parametrize(
+        "amplitude", [-0.1, 1.0, 1.5, float("nan"), float("inf")]
+    )
+    def test_amplitude_bounds(self, amplitude):
+        workflow = make_line("alpha", [10e6, 20e6])
+        with pytest.raises(ServiceError, match="amplitude"):
+            drift_workflow(workflow, random.Random(0), amplitude)
+        with pytest.raises(ServiceError, match="amplitude"):
+            drift_capacity(1e9, random.Random(0), amplitude)
+
+
+class TestDriftCapacity:
+    def test_deterministic_and_floored(self):
+        assert drift_capacity(2e9, random.Random(5), 0.3) == drift_capacity(
+            2e9, random.Random(5), 0.3
+        )
+        rng = random.Random(9)
+        for _ in range(50):
+            assert drift_capacity(1.1e6, rng, 0.9) >= 1e6
+
+    def test_zero_amplitude_returns_power_unchanged(self):
+        rng = random.Random(1)
+        state = rng.getstate()
+        assert drift_capacity(2e9, rng, 0.0) == 2e9
+        assert rng.getstate() == state
+
+
+class TestDriftScenario:
+    def test_contains_both_drift_event_kinds(self):
+        scenario = build_scenario("drift", seed=5)
+        kinds = {type(event) for event in scenario.events}
+        assert WorkloadDrift in kinds
+        assert CapacityDrift in kinds
+
+    def test_drift_compounds_across_rounds(self):
+        scenario = build_scenario("drift", seed=0)
+        per_tenant: dict[str, list] = {}
+        for event in scenario.events:
+            if isinstance(event, WorkloadDrift):
+                per_tenant.setdefault(event.tenant, []).append(event.workflow)
+        assert per_tenant
+        for rounds in per_tenant.values():
+            assert len(rounds) == 6
+            documents = [workflow_to_dict(w) for w in rounds]
+            # cumulative: every round differs from the one before
+            for earlier, later in zip(documents, documents[1:]):
+                assert earlier != later
+
+    def test_replay_rebalances_under_drift(self):
+        controller = replay("drift", seed=0)
+        metrics = controller.metrics()
+        assert metrics.rebalances >= 1
+        assert metrics.rebalance_moves >= 1
+        drifted = controller.log.filter("workload-drift", "drifted")
+        rescaled = controller.log.filter("capacity-drift", "rescaled")
+        assert drifted
+        assert rescaled
