@@ -112,6 +112,26 @@ def _budget_from_args(args) -> SearchBudget | None:
     )
 
 
+def _add_topology_argument(command: argparse.ArgumentParser) -> None:
+    """Attach the topology-override flag shared by deploy/compare."""
+    command.add_argument(
+        "--topology",
+        metavar="PATH",
+        default=None,
+        help="deploy onto this topology file (SNDlib-style text or a "
+        "JSON network document) instead of the instance's network",
+    )
+
+
+def _resolve_network(args, network):
+    """The instance's network, or the ``--topology`` override."""
+    if getattr(args, "topology", None) is None:
+        return network
+    from repro.scenarios import load_topology
+
+    return load_topology(args.topology)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full argparse tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -161,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. HillClimbing@FL-TieResolver2)",
     )
     deploy.add_argument("--seed", type=int, default=0)
+    _add_topology_argument(deploy)
     _add_budget_arguments(deploy)
     deploy.add_argument(
         "--workers",
@@ -208,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
     )
     compare.add_argument("--seed", type=int, default=0)
+    _add_topology_argument(compare)
     _add_budget_arguments(compare)
     compare.add_argument(
         "--workers",
@@ -407,6 +429,7 @@ def _cmd_deploy(args) -> int:
     from repro.parallel import deploy_parallel, race_portfolio
 
     workflow, network, _ = load_instance(args.instance)
+    network = _resolve_network(args, network)
     model = CostModel(workflow, network)
     budget = _budget_from_args(args)
     if args.portfolio is not None:
@@ -468,6 +491,7 @@ def _cmd_compare(args) -> int:
     from repro.parallel import deploy_parallel
 
     workflow, network, _ = load_instance(args.instance)
+    network = _resolve_network(args, network)
     model = CostModel(workflow, network)
     budget = _budget_from_args(args)
     points: dict[str, list[tuple[float, float]]] = {}

@@ -116,8 +116,11 @@ class CompiledInstance:
     a deployment lives in flat tuples indexed by small integers, and the
     only per-evaluation input is a server vector ``servers[op_index] ->
     server_index``. The artifact is immutable after construction (the
-    route table and region caches fill lazily but never change value);
-    mutate the workflow or network and you must recompile.
+    route table and region caches fill lazily but never change value),
+    with one sanctioned exception: when *link parameters* change at
+    runtime, :meth:`invalidate_routes` resets everything derived from
+    route delays in place. Any other mutation of the workflow or
+    network requires a recompile.
 
     Parameters
     ----------
@@ -371,23 +374,8 @@ class CompiledInstance:
                 self.server_index_of(baseline[name])
                 for name in self.op_names
             )
-            model = objective.migration
-            # state size scales with *raw* cycles: the operation carries
-            # its full state regardless of execution probability
-            table = []
-            for op in range(self.num_ops):
-                source = self.baseline_servers[op]
-                bits = model.state_bits(self.cycles[op])
-                table.append(
-                    tuple(
-                        0.0
-                        if target == source
-                        else model.downtime_s + self.delay(source, target, bits)
-                        for target in range(self.num_servers)
-                    )
-                )
             self.migration_table: tuple[tuple[float, ...], ...] | None = (
-                tuple(table)
+                self._compile_migration_table()
             )
         else:
             self.baseline_servers = None
@@ -427,9 +415,69 @@ class CompiledInstance:
         server_of = deployment.server_of
         return [server_index[server_of(name)] for name in self.op_names]
 
+    def _compile_migration_table(self) -> tuple[tuple[float, ...], ...]:
+        """``migration_table[op][server]`` priced over the current links."""
+        model = self.objective.migration
+        # state size scales with *raw* cycles: the operation carries
+        # its full state regardless of execution probability
+        table = []
+        for op in range(self.num_ops):
+            source = self.baseline_servers[op]
+            bits = model.state_bits(self.cycles[op])
+            table.append(
+                tuple(
+                    0.0
+                    if target == source
+                    else model.downtime_s + self.delay(source, target, bits)
+                    for target in range(self.num_servers)
+                )
+            )
+        return tuple(table)
+
     # ------------------------------------------------------------------
     # route delays
     # ------------------------------------------------------------------
+    def invalidate_routes(self) -> None:
+        """Rebuild the route-delay table after link parameters changed.
+
+        The explicit invalidation/rebuild hook of the scenario layer:
+        when a link fails, degrades or is upgraded, the compiled
+        artifact stays valid *except* for everything derived from route
+        delays. This method
+
+        * clears the router's memoised routes (the next query re-runs
+          Dijkstra against the current links),
+        * resets the lazy per-``(server, server)`` route table so every
+          slot re-resolves through the router,
+        * drops the memoised batch evaluator (its dense delay matrices
+          embed the stale coefficients), and
+        * recompiles the migration-cost table when the instance is
+          transition-aware (checkpoint transfer is priced over links).
+
+        The contract is *link changes only*: the server set, their
+        powers and the workflow must be unchanged (those invalidate the
+        whole artifact -- recompile instead). Callers holding
+        ``MoveEvaluator``/``TableScorer`` running state over this
+        instance must rebuild (or ``resync``) them; the fleet's
+        rebalancer constructs them per round, so it gets fresh delays
+        automatically.
+        """
+        if self.network.server_names != self.server_names:
+            raise DeploymentError(
+                f"invalidate_routes on {self.workflow.name!r} x "
+                f"{self.network.name!r}: the server set changed; "
+                f"recompile the instance instead"
+            )
+        self.router.clear_cache()
+        self.routes = [
+            [None] * self.num_servers for _ in range(self.num_servers)
+        ]
+        for i in range(self.num_servers):
+            self.routes[i][i] = (0.0, 0.0)
+        self._batch = None
+        if self.transition_aware:
+            self.migration_table = self._compile_migration_table()
+
     def _resolve_route(self, source: int, target: int) -> tuple:
         """Fill one route-table slot from the router's classification."""
         coeff = self.router.pair_coefficients(

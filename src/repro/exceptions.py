@@ -59,6 +59,16 @@ class DisconnectedNetworkError(NetworkError):
     """Two servers that must communicate have no connecting path."""
 
 
+class TopologyFormatError(NetworkError):
+    """A topology file could not be parsed into a :class:`ServerNetwork`.
+
+    Raised by :func:`repro.scenarios.load_topology` for unreadable files,
+    malformed SNDlib-style sections, unknown node references and invalid
+    numeric fields -- anywhere the problem is "the topology document is
+    bad" rather than "the network API was misused".
+    """
+
+
 class DeploymentError(ReproError):
     """A mapping of operations to servers is invalid or incomplete."""
 

@@ -21,10 +21,22 @@ without touching Dijkstra and without growing the cache. Only genuinely
 size-dependent pairs (a short slow path versus a long fast one, where
 neither dominates) fall back to a bounded per-size cache.
 
+The router is the *single owner of path selection*: every route-delay
+consumer -- :class:`~repro.core.compiled.CompiledInstance`'s lazy
+route table (and through it ``CostModel``/``MoveEvaluator``/
+``TableScorer``/``BatchEvaluator``), the simulator, the fleet -- reads
+paths and affine coefficients from here, over arbitrary weighted graphs
+with heterogeneous per-link speeds and propagation delays. Nothing
+downstream assumes a uniform bus or a line; those are just the easy
+special cases.
+
 Cache effectiveness is observable through :attr:`Router.hits` /
-:attr:`Router.misses` / :attr:`Router.hit_rate`; the cache is invalidated
-by :meth:`Router.clear_cache` or by constructing a new router (networks
-are treated as frozen once routing starts).
+:attr:`Router.misses` / :attr:`Router.hit_rate`. Link parameters may
+change at runtime (the fleet's link failure/degradation events):
+:meth:`Router.clear_cache` is the invalidation hook -- call it (or let
+:meth:`repro.core.compiled.CompiledInstance.invalidate_routes` call it)
+after mutating the network, and the next query re-runs Dijkstra against
+the current links. Between mutations the network is treated as frozen.
 """
 
 from __future__ import annotations
@@ -278,6 +290,13 @@ class Router:
         return len(self._route_cache) + len(self._sized_path_cache)
 
     def clear_cache(self) -> None:
-        """Drop memoised routes (call after mutating the network)."""
+        """Drop memoised routes: the invalidation hook.
+
+        Call after mutating the network's links (or servers); the next
+        query re-runs Dijkstra against the current topology. Consumers
+        holding a :class:`~repro.core.compiled.CompiledInstance` should
+        call its ``invalidate_routes`` instead, which clears this cache
+        *and* resets the compiled route-delay table reading through it.
+        """
         self._route_cache.clear()
         self._sized_path_cache.clear()

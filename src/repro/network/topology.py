@@ -188,6 +188,39 @@ class ServerNetwork:
         """Convenience wrapper building and inserting a :class:`Link`."""
         return self.add_link(Link(a, b, speed_bps, propagation_s))
 
+    def remove_link(self, a: str, b: str) -> Link:
+        """Remove and return the link between *a* and *b*.
+
+        Order-insensitive; raises
+        :class:`~repro.exceptions.UnknownServerError` when no such link
+        exists. Removal may disconnect the network -- callers that need
+        connectivity (routing, the fleet) must check
+        :meth:`is_connected` afterwards and decide their own policy
+        (e.g. :meth:`repro.service.state.FleetState.drop_link` rolls the
+        removal back).
+        """
+        link = self.link(a, b)
+        del self._links[link.endpoints]
+        self._graph.remove_edge(link.a, link.b)
+        return link
+
+    def replace_link(self, link: Link) -> Link:
+        """Swap the stored link between the same endpoints with *link*.
+
+        The graph structure is untouched -- this models a parameter
+        change (degradation, upgrade) of an existing connection, the
+        link-level sibling of :meth:`replace_server`. Raises
+        :class:`~repro.exceptions.UnknownServerError` when no link
+        between the endpoints exists.
+        """
+        if link.endpoints not in self._links:
+            raise UnknownServerError(
+                f"no link between {link.a!r} and {link.b!r} in "
+                f"{self.name!r}"
+            )
+        self._links[link.endpoints] = link
+        return link
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -336,7 +369,15 @@ class ServerNetwork:
         return next(iter(self._links.values())).speed_bps
 
     def summary(self) -> dict[str, object]:
-        """Small dict of structural statistics, handy for reports."""
+        """Small dict of structural statistics, handy for reports.
+
+        Heterogeneous networks additionally report the link-speed range
+        and worst-case propagation delay (``None`` for each when the
+        network has no links), plus whether the paper's uniform-bus
+        assumption holds.
+        """
+        speeds = [link.speed_bps for link in self._links.values()]
+        propagations = [link.propagation_s for link in self._links.values()]
         return {
             "name": self.name,
             "kind": self.topology_kind,
@@ -344,6 +385,10 @@ class ServerNetwork:
             "links": len(self._links),
             "total_power_hz": self.total_power_hz,
             "connected": self.is_connected(),
+            "min_link_speed_bps": min(speeds) if speeds else None,
+            "max_link_speed_bps": max(speeds) if speeds else None,
+            "max_propagation_s": max(propagations) if propagations else None,
+            "uniform_bus": self.is_uniform_bus(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -473,13 +518,14 @@ def random_network(
     Parameters
     ----------
     rng:
-        ``random.Random``-like; required when anything is sampled
-        (tree shape, extra edges, speeds).
+        Anything :func:`repro.core.rng.coerce_rng` accepts: a
+        ``random.Random``, an integer seed, or ``None`` for the default
+        seed-0 stream (byte-identical to the historical inlined
+        ``random.Random(0)`` default).
     """
-    import random as _random
+    from repro.core.rng import coerce_rng
 
-    if rng is None:
-        rng = _random.Random(0)
+    rng = coerce_rng(rng)
     if not 0.0 <= extra_edge_probability <= 1.0:
         raise NetworkError("extra_edge_probability must lie in [0, 1]")
     servers = _named_servers(powers_hz, prefix)

@@ -1,0 +1,230 @@
+"""Geo-distributed cloud-region networks from latency matrices.
+
+"Optimal Deployment of Geographically Distributed Workflow Engines on
+the Cloud" and "Uncovering the Perfect Place" (see PAPERS.md) study
+workflow placement across cloud *regions*, where the dominant cost is
+the measured wide-area round-trip time between regions, not link
+bandwidth. This module builds :class:`~repro.network.topology.
+ServerNetwork`s from exactly that shape of data: a symmetric
+inter-region one-way-latency matrix in milliseconds plus a per-region
+server count.
+
+Servers are named ``{region}/{i}`` so region membership stays parseable
+from the name alone -- :func:`region_of` is the inverse, and the
+fleet's ``RegionOutage`` event uses it to find a region's servers.
+Within a region servers see a fast LAN (high speed, sub-millisecond
+propagation); across regions every server pair gets a backbone link
+whose propagation delay is the matrix entry. The result is a complete
+but *heterogeneous* graph: the router may well relay through a third
+region when the triangle inequality fails in the measured matrix.
+
+:func:`random_geo_network` is the seeded factory the scenario packs
+use: region subset, per-server powers and latency jitter all derive
+from one RNG, so a ``(regions, seed)`` pair is a reproducible fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.rng import coerce_rng
+from repro.exceptions import NetworkError
+from repro.network.topology import Link, Server, ServerNetwork
+
+__all__ = [
+    "GEO_REGIONS",
+    "REGION_LATENCY_MS",
+    "geo_network",
+    "random_geo_network",
+    "region_of",
+    "region_servers",
+]
+
+#: Eight cloud regions, the default pool of the seeded factory.
+GEO_REGIONS: tuple[str, ...] = (
+    "us-east",
+    "us-west",
+    "eu-west",
+    "eu-central",
+    "ap-northeast",
+    "ap-southeast",
+    "sa-east",
+    "af-south",
+)
+
+#: Symmetric one-way inter-region latency in milliseconds -- the shape
+#: of the public cloud-ping matrices (values are representative, not a
+#: live measurement). Entries are stored once per unordered pair.
+REGION_LATENCY_MS: dict[frozenset[str], float] = {
+    frozenset(pair): latency
+    for pair, latency in {
+        ("us-east", "us-west"): 34.0,
+        ("us-east", "eu-west"): 38.0,
+        ("us-east", "eu-central"): 45.0,
+        ("us-east", "ap-northeast"): 75.0,
+        ("us-east", "ap-southeast"): 100.0,
+        ("us-east", "sa-east"): 57.0,
+        ("us-east", "af-south"): 113.0,
+        ("us-west", "eu-west"): 65.0,
+        ("us-west", "eu-central"): 73.0,
+        ("us-west", "ap-northeast"): 52.0,
+        ("us-west", "ap-southeast"): 85.0,
+        ("us-west", "sa-east"): 87.0,
+        ("us-west", "af-south"): 140.0,
+        ("eu-west", "eu-central"): 12.0,
+        ("eu-west", "ap-northeast"): 105.0,
+        ("eu-west", "ap-southeast"): 87.0,
+        ("eu-west", "sa-east"): 92.0,
+        ("eu-west", "af-south"): 80.0,
+        ("eu-central", "ap-northeast"): 112.0,
+        ("eu-central", "ap-southeast"): 80.0,
+        ("eu-central", "sa-east"): 100.0,
+        ("eu-central", "af-south"): 88.0,
+        ("ap-northeast", "ap-southeast"): 35.0,
+        ("ap-northeast", "sa-east"): 130.0,
+        ("ap-northeast", "af-south"): 150.0,
+        ("ap-southeast", "sa-east"): 160.0,
+        ("ap-southeast", "af-south"): 125.0,
+        ("sa-east", "af-south"): 170.0,
+    }.items()
+}
+
+
+def region_of(server_name: str) -> str:
+    """The region prefix of ``{region}/{i}``-style server names.
+
+    A name without a ``/`` is its own region, so region-level events
+    degrade gracefully on non-geo fleets (a ``RegionOutage("S3")`` on a
+    bus is just a single-server outage).
+    """
+    return server_name.split("/", 1)[0]
+
+
+def region_servers(network: ServerNetwork, region: str) -> tuple[str, ...]:
+    """Names of *network*'s servers whose :func:`region_of` is *region*."""
+    return tuple(
+        name for name in network.server_names if region_of(name) == region
+    )
+
+
+def _pair_latency_ms(
+    latency_ms: Mapping[frozenset[str], float], a: str, b: str
+) -> float:
+    try:
+        return latency_ms[frozenset((a, b))]
+    except KeyError:
+        raise NetworkError(
+            f"no inter-region latency between {a!r} and {b!r} in the "
+            f"latency matrix"
+        ) from None
+
+
+def geo_network(
+    regions: Sequence[str] | None = None,
+    *,
+    servers_per_region: int = 2,
+    latency_ms: Mapping[frozenset[str], float] | None = None,
+    power_hz: float | Mapping[str, float] = 2e9,
+    backbone_bps: float = 1e9,
+    lan_bps: float = 10e9,
+    lan_propagation_s: float = 2e-4,
+    name: str = "geo",
+) -> ServerNetwork:
+    """A geo-region fleet from an inter-region latency matrix.
+
+    Parameters
+    ----------
+    regions:
+        Region names (default: the first four of :data:`GEO_REGIONS`).
+        Every unordered pair must appear in *latency_ms*.
+    servers_per_region:
+        Servers per region, named ``{region}/{1..k}``.
+    latency_ms:
+        Symmetric one-way latency per unordered region pair, in
+        milliseconds (default: :data:`REGION_LATENCY_MS`).
+    power_hz:
+        One power for every server, or a per-server-name mapping.
+    backbone_bps, lan_bps, lan_propagation_s:
+        Link speeds of the wide-area backbone and the intra-region LAN,
+        and the LAN's (sub-millisecond) propagation delay.
+    """
+    if regions is None:
+        regions = GEO_REGIONS[:4]
+    regions = tuple(regions)
+    if len(set(regions)) != len(regions):
+        raise NetworkError(f"duplicate regions in {regions!r}")
+    if servers_per_region < 1:
+        raise NetworkError("servers_per_region must be >= 1")
+    if latency_ms is None:
+        latency_ms = REGION_LATENCY_MS
+    network = ServerNetwork(name, topology_kind="custom")
+    names: list[tuple[str, str]] = []  # (region, server name)
+    for region in regions:
+        for i in range(1, servers_per_region + 1):
+            server = f"{region}/{i}"
+            power = (
+                power_hz[server]
+                if isinstance(power_hz, Mapping)
+                else float(power_hz)
+            )
+            network.add_server(Server(server, power))
+            names.append((region, server))
+    for index, (region_a, a) in enumerate(names):
+        for region_b, b in names[index + 1 :]:
+            if region_a == region_b:
+                network.add_link(Link(a, b, lan_bps, lan_propagation_s))
+            else:
+                one_way = _pair_latency_ms(latency_ms, region_a, region_b)
+                network.add_link(Link(a, b, backbone_bps, one_way / 1e3))
+    return network
+
+
+def random_geo_network(
+    num_regions: int = 4,
+    *,
+    servers_per_region: int = 2,
+    seed=None,
+    power_range_hz: tuple[float, float] = (1e9, 4e9),
+    latency_jitter: float = 0.1,
+    backbone_bps: float = 1e9,
+    lan_bps: float = 10e9,
+    name: str = "geo-random",
+) -> ServerNetwork:
+    """A seeded heterogeneous geo fleet (the scenario-pack factory).
+
+    Draws *num_regions* regions from :data:`GEO_REGIONS` (in order),
+    samples every server's power uniformly from *power_range_hz* and
+    jitters each inter-region latency by ``+- latency_jitter``
+    (multiplicative) -- all from one RNG coerced via
+    :func:`repro.core.rng.coerce_rng`, so the same seed always yields
+    the same fleet.
+    """
+    if not 1 <= num_regions <= len(GEO_REGIONS):
+        raise NetworkError(
+            f"num_regions must lie in [1, {len(GEO_REGIONS)}], "
+            f"got {num_regions!r}"
+        )
+    if not 0.0 <= latency_jitter < 1.0:
+        raise NetworkError("latency_jitter must lie in [0, 1)")
+    rng = coerce_rng(seed)
+    regions = GEO_REGIONS[:num_regions]
+    jittered: dict[frozenset[str], float] = {}
+    for index, region_a in enumerate(regions):
+        for region_b in regions[index + 1 :]:
+            base = _pair_latency_ms(REGION_LATENCY_MS, region_a, region_b)
+            factor = 1.0 + latency_jitter * rng.uniform(-1.0, 1.0)
+            jittered[frozenset((region_a, region_b))] = base * factor
+    powers = {
+        f"{region}/{i}": rng.uniform(*power_range_hz)
+        for region in regions
+        for i in range(1, servers_per_region + 1)
+    }
+    return geo_network(
+        regions,
+        servers_per_region=servers_per_region,
+        latency_ms=jittered,
+        power_hz=powers,
+        backbone_bps=backbone_bps,
+        lan_bps=lan_bps,
+        name=name,
+    )

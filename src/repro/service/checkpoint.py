@@ -44,6 +44,9 @@ from repro.service.events import (
     CapacityDrift,
     DeployRequest,
     FleetEvent,
+    LinkDegrade,
+    LinkFailure,
+    RegionOutage,
     ServerFailed,
     ServerJoined,
     Tick,
@@ -125,6 +128,18 @@ def event_to_dict(event: FleetEvent) -> dict[str, Any]:
             "server": event.server,
             "power_hz": event.power_hz,
         }
+    if isinstance(event, LinkFailure):
+        return {"kind": event.kind, "a": event.a, "b": event.b}
+    if isinstance(event, LinkDegrade):
+        return {
+            "kind": event.kind,
+            "a": event.a,
+            "b": event.b,
+            "speed_factor": event.speed_factor,
+            "propagation_factor": event.propagation_factor,
+        }
+    if isinstance(event, RegionOutage):
+        return {"kind": event.kind, "region": event.region}
     if isinstance(event, Tick):
         return {"kind": event.kind}
     raise ValidationError(
@@ -179,6 +194,26 @@ def event_from_dict(document: Mapping[str, Any]) -> FleetEvent:
             power_hz=float(
                 _require(document, "power_hz", "capacity-drift event")
             ),
+        )
+    if kind == LinkFailure.kind:
+        return LinkFailure(
+            a=str(_require(document, "a", "link-failed event")),
+            b=str(_require(document, "b", "link-failed event")),
+        )
+    if kind == LinkDegrade.kind:
+        return LinkDegrade(
+            a=str(_require(document, "a", "link-degraded event")),
+            b=str(_require(document, "b", "link-degraded event")),
+            speed_factor=float(
+                _require(document, "speed_factor", "link-degraded event")
+            ),
+            propagation_factor=float(
+                document.get("propagation_factor", 1.0)
+            ),
+        )
+    if kind == RegionOutage.kind:
+        return RegionOutage(
+            region=str(_require(document, "region", "region-outage event"))
         )
     if kind == Tick.kind:
         return Tick()

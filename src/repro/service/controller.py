@@ -15,6 +15,14 @@ experiment layer already provides:
   worst-fit policy generalised to fleet-wide budgets;
 * ``ServerJoined`` -- opportunistic spreading of hosted load onto the
   new capacity, bounded like a rebalance;
+* ``LinkFailure`` / ``LinkDegrade`` -- patch the live topology (drop or
+  re-parameterise a link), invalidate only the route-delay state via
+  :meth:`repro.core.compiled.CompiledInstance.invalidate_routes`, and
+  run the tick's drift check immediately -- re-routed traffic may have
+  pushed the fleet past the rebalance threshold;
+* ``RegionOutage`` -- fail every server of one geo region
+  (``{region}/{i}`` naming, see :mod:`repro.scenarios.geo`), then
+  re-home all orphans in a single fleet-wide pass;
 * ``Tick`` -- fairness-drift check; when the time-penalty share of the
   fleet objective exceeds the configured threshold, a bounded greedy
   rebalance runs and its churn vs. cost-gain is logged, mirroring
@@ -61,10 +69,14 @@ from repro.core.migration import MigrationCostModel
 from repro.core.rng import coerce_rng
 from repro.exceptions import ServiceError
 from repro.network.topology import ServerNetwork
+from repro.scenarios.geo import region_servers
 from repro.service.events import (
     CapacityDrift,
     DeployRequest,
     FleetEvent,
+    LinkDegrade,
+    LinkFailure,
+    RegionOutage,
     ServerFailed,
     ServerJoined,
     Tick,
@@ -321,6 +333,12 @@ class FleetController:
             subject, action, details = self._on_workload_drift(event)
         elif isinstance(event, CapacityDrift):
             subject, action, details = self._on_capacity_drift(event)
+        elif isinstance(event, LinkFailure):
+            subject, action, details = self._on_link_failure(event)
+        elif isinstance(event, LinkDegrade):
+            subject, action, details = self._on_link_degrade(event)
+        elif isinstance(event, RegionOutage):
+            subject, action, details = self._on_region_outage(event)
         elif isinstance(event, Tick):
             subject, action, details = self._on_tick(event)
         else:
@@ -525,6 +543,124 @@ class FleetController:
         if report is not None and not report.exhausted:
             details["stopped"] = report.stop_reason
         return event.server, "joined", details
+
+    def _on_link_failure(
+        self, event: LinkFailure
+    ) -> tuple[str, str, dict[str, str]]:
+        state = self.state
+        subject = f"{event.a}-{event.b}"
+        if event.a not in state.network or event.b not in state.network:
+            return subject, "rejected", {"reason": "unknown-server"}
+        if not state.network.has_link(event.a, event.b):
+            return subject, "rejected", {"reason": "unknown-link"}
+        try:
+            state.drop_link(event.a, event.b)
+        except ServiceError:
+            # no redundant path: keeping the link beats partitioning
+            return subject, "rejected", {"reason": "would-partition"}
+        details = {"links": format_detail(len(state.network.links))}
+        details.update(self._drive_rebalance())
+        return subject, "rerouted", details
+
+    def _on_link_degrade(
+        self, event: LinkDegrade
+    ) -> tuple[str, str, dict[str, str]]:
+        state = self.state
+        subject = f"{event.a}-{event.b}"
+        if event.a not in state.network or event.b not in state.network:
+            return subject, "rejected", {"reason": "unknown-server"}
+        if not state.network.has_link(event.a, event.b):
+            return subject, "rejected", {"reason": "unknown-link"}
+        link = state.degrade_link(
+            event.a, event.b, event.speed_factor, event.propagation_factor
+        )
+        details = {
+            "speed_bps": format_detail(link.speed_bps),
+            "propagation_s": format_detail(link.propagation_s),
+        }
+        details.update(self._drive_rebalance())
+        return subject, "degraded", details
+
+    def _on_region_outage(
+        self, event: RegionOutage
+    ) -> tuple[str, str, dict[str, str]]:
+        state = self.state
+        members = region_servers(state.network, event.region)
+        if not members:
+            return event.region, "rejected", {"reason": "unknown-region"}
+        if len(members) >= len(state.network):
+            return event.region, "rejected", {"reason": "whole-fleet"}
+        # fail every member first, re-home once: orphans must never be
+        # parked on a server that dies later in the same outage
+        merged: dict[str, list[str]] = {}
+        for server in members:
+            for tenant, operations in state.fail_server(server).items():
+                merged.setdefault(tenant, []).extend(operations)
+        rehomed = self._rehome_orphans(
+            {tenant: tuple(ops) for tenant, ops in merged.items()}
+        )
+        return (
+            event.region,
+            "recovered",
+            {
+                "servers_lost": format_detail(len(members)),
+                "orphans": format_detail(rehomed),
+                "tenants_affected": format_detail(len(merged)),
+                "servers_left": format_detail(len(state.network)),
+            },
+        )
+
+    def _drive_rebalance(self) -> dict[str, str]:
+        """Drift check + bounded rebalance after a topology patch.
+
+        The same test :meth:`_on_tick` applies, run immediately when a
+        link failed or degraded: re-routed traffic may have shifted the
+        time-penalty share of the objective past the threshold, and
+        waiting for the next scheduled tick would leave the fleet
+        unbalanced in between. Cooldowns are *set* for moved tenants
+        (hysteresis must keep damping oscillation) but not decayed --
+        these events are not ticks. Returns the detail entries for the
+        event's log record.
+        """
+        snapshot = self.state.snapshot()
+        if snapshot.objective > 0:
+            drift = (
+                self.state.penalty_weight * snapshot.time_penalty
+                / snapshot.objective
+            )
+        else:
+            drift = 0.0
+        details = {"drift": format_detail(drift)}
+        if drift <= self.config.drift_threshold:
+            return details
+        moves, before, after, migration_total = self._greedy_moves(
+            targets=None,
+            candidates=self._busiest_server_operations,
+            max_moves=self.config.max_moves_per_rebalance,
+        )
+        if self.config.rebalance_cooldown_ticks > 0:
+            for tenant, _operation, _source, _target in moves:
+                self._tenant_cooldowns[tenant] = (
+                    self.config.rebalance_cooldown_ticks
+                )
+        details.update(
+            {
+                "churn": format_detail(len(moves)),
+                "objective_before": format_detail(before),
+                "objective_after": format_detail(after),
+                "gain": format_detail(before - after),
+            }
+        )
+        if self._transition_aware:
+            details["migration"] = format_detail(migration_total)
+            details["net_gain"] = format_detail(
+                before - after
+                - self.config.migration_weight * migration_total
+            )
+        report = self.last_rebalance_report
+        if report is not None and not report.exhausted:
+            details["stopped"] = report.stop_reason
+        return details
 
     def _on_tick(self, event: Tick) -> tuple[str, str, dict[str, str]]:
         snapshot = self.state.snapshot()
@@ -940,6 +1076,12 @@ class FleetController:
         churn = sum(int(r.detail("churn")) for r in rebalanced) + sum(
             int(r.detail("spread_moves")) for r in joined
         )
+        # link events rebalance too, but only when drift crossed the
+        # threshold -- their records carry "churn" only in that case
+        for record in self.log.filter("link-failed", "rerouted") + (
+            self.log.filter("link-degraded", "degraded")
+        ):
+            churn += int(record.details_dict.get("churn", "0"))
         snapshot = self.state.snapshot()
         return FleetMetrics(
             events=len(records),

@@ -13,6 +13,7 @@ and the metrics breakdown.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.workflow import Workflow
@@ -26,6 +27,9 @@ __all__ = [
     "ServerJoined",
     "WorkloadDrift",
     "CapacityDrift",
+    "LinkFailure",
+    "LinkDegrade",
+    "RegionOutage",
     "Tick",
 ]
 
@@ -167,6 +171,90 @@ class CapacityDrift(FleetEvent):
 
     server: str
     power_hz: float
+
+
+@dataclass(frozen=True)
+class LinkFailure(FleetEvent):
+    """A link between two live servers went dark.
+
+    The controller removes the link from the topology, invalidates the
+    route-delay tables (placements stay valid -- only message paths
+    change) and runs a drift check with a bounded rebalance. A failure
+    that would disconnect the fleet is rejected and the link kept: a
+    partitioned fleet cannot route, so the event models the last
+    redundant path dying, not a full partition.
+    """
+
+    kind = "link-failed"
+
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FleetEvent):
+    """A link's parameters changed: brownout, congestion, or an upgrade.
+
+    The link between *a* and *b* keeps its place in the topology but
+    its speed is multiplied by *speed_factor* and its propagation delay
+    by *propagation_factor*. Factors above 1 model upgrades; the
+    controller only recomputes routes and re-checks drift either way.
+
+    Attributes
+    ----------
+    a, b:
+        Endpoint server names (order-insensitive, as in
+        :class:`~repro.network.topology.Link`).
+    speed_factor:
+        Multiplier on the link's ``speed_bps`` (> 0, finite).
+    propagation_factor:
+        Multiplier on the link's ``propagation_s`` (>= 0, finite;
+        default 1.0 leaves propagation untouched).
+    """
+
+    kind = "link-degraded"
+
+    a: str
+    b: str
+    speed_factor: float
+    propagation_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.speed_factor) and self.speed_factor > 0):
+            raise ServiceError(
+                f"LinkDegrade speed_factor must be finite and > 0, "
+                f"got {self.speed_factor!r}"
+            )
+        if not (
+            math.isfinite(self.propagation_factor)
+            and self.propagation_factor >= 0
+        ):
+            raise ServiceError(
+                f"LinkDegrade propagation_factor must be finite and >= 0, "
+                f"got {self.propagation_factor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RegionOutage(FleetEvent):
+    """Every server of one geo region fails at once.
+
+    Region membership is parsed from server names by
+    :func:`repro.scenarios.geo.region_of` (the ``{region}/{i}`` naming
+    of the geo factories; a bare name is its own region). The
+    controller fails all member servers, then re-homes the orphans of
+    every affected tenant in one fleet-wide pass -- so orphans are
+    never parked on a server that is about to die in the same outage.
+    An outage covering the whole fleet is rejected.
+    """
+
+    kind = "region-outage"
+
+    region: str
+
+    def __post_init__(self) -> None:
+        if not self.region:
+            raise ServiceError("RegionOutage needs a non-empty region name")
 
 
 @dataclass(frozen=True)

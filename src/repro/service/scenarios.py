@@ -24,6 +24,15 @@ Three builtin scenarios cover the interesting regimes:
     6-server fleet under a tight rebalance trigger -- the scenario the
     migration benchmarks replay with and without a transition-aware
     objective (see :mod:`repro.core.migration`).
+``abilene``
+    Tenants on the bundled real Abilene backbone
+    (:func:`repro.scenarios.abilene_network`) under trunk brownouts,
+    a link failure and a rejected would-partition failure -- the
+    topology-benchmark scenario.
+``geo``
+    A four-region geo-distributed fleet
+    (:func:`repro.scenarios.random_geo_network`) losing an inter-region
+    backbone link and then a whole region.
 
 :func:`drift_workflow` and :func:`drift_capacity` are the seeded
 perturbation helpers behind the ``drift`` trace: shape-preserving
@@ -42,12 +51,16 @@ from typing import Callable
 from repro.core.rng import coerce_rng
 from repro.core.workflow import NodeKind, Workflow
 from repro.exceptions import ServiceError
-from repro.network.topology import ServerNetwork
+from repro.network.topology import Server, ServerNetwork
+from repro.scenarios import abilene_network, random_geo_network
 from repro.service.controller import FleetConfig, FleetController, StepClock
 from repro.service.events import (
     CapacityDrift,
     DeployRequest,
     FleetEvent,
+    LinkDegrade,
+    LinkFailure,
+    RegionOutage,
     ServerFailed,
     ServerJoined,
     Tick,
@@ -355,11 +368,119 @@ def _build_drift(seed: int) -> Scenario:
     )
 
 
+def _build_abilene(seed: int) -> Scenario:
+    """Tenants on the real Abilene backbone under link failures.
+
+    The fleet is the bundled 12-PoP Abilene topology (sparse, genuinely
+    multi-hop, heterogeneous propagation delays) with seeded per-node
+    powers. Mid-trace, a core trunk browns out, a redundant western
+    trunk dies outright, and a failure that would cut off the
+    degree-one Atlanta M5 PoP is rejected -- exercising every branch of
+    the link-event handlers plus the route-table invalidation path.
+    """
+    rng = coerce_rng(seed)
+    network = abilene_network(name="fleet-abilene")
+    for name in network.server_names:
+        network.replace_server(Server(name, rng.uniform(1e9, 4e9)))
+    events: list[FleetEvent] = []
+    for index in range(1, 9):
+        events.append(
+            DeployRequest(f"tenant-{index:03d}", _tenant_workflow(rng, index))
+        )
+        if index % 4 == 0:
+            events.append(Tick())
+    # a core trunk browns out to a tenth of its speed
+    events.append(LinkDegrade("IPLSng", "KSCYng", speed_factor=0.1))
+    events.append(Tick())
+    # a western trunk dies; Denver keeps two redundant paths
+    events.append(LinkFailure("DNVRng", "SNVAng"))
+    events.append(Tick())
+    for index in range(9, 11):
+        events.append(
+            DeployRequest(f"tenant-{index:03d}", _tenant_workflow(rng, index))
+        )
+    # ATLAM5's only trunk: dropping it would partition -> rejected
+    events.append(LinkFailure("ATLAM5", "ATLAng"))
+    events.append(
+        LinkDegrade(
+            "HSTNng", "LOSAng", speed_factor=0.25, propagation_factor=1.5
+        )
+    )
+    events.append(Tick())
+    config = FleetConfig(
+        drift_threshold=0.15, max_moves_per_rebalance=4, seed=seed
+    )
+    return Scenario(
+        name="abilene",
+        description=(
+            "10 tenants on the Abilene backbone; trunk brownout, "
+            "a link failure, and a rejected partition"
+        ),
+        network=network,
+        config=config,
+        events=tuple(events),
+    )
+
+
+def _build_geo(seed: int) -> Scenario:
+    """A geo-region fleet losing a whole region mid-trace.
+
+    Four cloud regions with two servers each (seeded powers and
+    latency jitter); an inter-region backbone link degrades, then all
+    of us-east -- the region hosting the bulk of the load -- goes dark
+    at once and its orphans re-home fleet-wide. A
+    region outage for an unknown region is rejected -- the graceful
+    path for replays against shrunken fleets.
+    """
+    rng = coerce_rng(seed)
+    network = random_geo_network(
+        4,
+        servers_per_region=2,
+        seed=rng.randrange(2**31),
+        name="fleet-geo",
+    )
+    events: list[FleetEvent] = []
+    for index in range(1, 7):
+        events.append(
+            DeployRequest(f"tenant-{index:03d}", _tenant_workflow(rng, index))
+        )
+        if index % 3 == 0:
+            events.append(Tick())
+    # the transatlantic backbone congests to a fifth of its speed
+    events.append(
+        LinkDegrade("us-east/1", "eu-west/1", speed_factor=0.2)
+    )
+    events.append(Tick())
+    events.append(RegionOutage("us-east"))
+    events.append(Tick())
+    for index in range(7, 9):
+        events.append(
+            DeployRequest(f"tenant-{index:03d}", _tenant_workflow(rng, index))
+        )
+    events.append(RegionOutage("mars"))  # unknown region -> rejected
+    events.append(Tick())
+    config = FleetConfig(
+        drift_threshold=0.1, max_moves_per_rebalance=4, seed=seed
+    )
+    return Scenario(
+        name="geo",
+        description=(
+            "6+2 tenants over 4 cloud regions; backbone degradation "
+            "and a full us-east outage"
+        ),
+        network=network,
+        config=config,
+        events=tuple(events),
+    )
+
+
 _BUILTIN: dict[str, Callable[[int], Scenario]] = {
     "steady": _build_steady,
     "churn": _build_churn,
     "surge": _build_surge,
     "drift": _build_drift,
+    "abilene": _build_abilene,
+    "geo": _build_geo,
 }
 
 

@@ -308,6 +308,23 @@ class FleetState:
         router.misses = self._router.misses
         self._router = router
 
+    def _invalidate_routes(self) -> None:
+        """Link parameters changed: rebuild only the route tables.
+
+        The cheap sibling of :meth:`_invalidate_caches` for the
+        link-level events: the server set, powers and every tenant's
+        compiled arrays are still valid, so the cached cost models are
+        *kept* and only their route-delay state is reset through
+        :meth:`~repro.core.compiled.CompiledInstance.invalidate_routes`
+        (which also clears the shared router's memoised paths). The
+        epoch still advances -- anything keyed on topology state must
+        observe the change.
+        """
+        self.epoch += 1
+        self._router.clear_cache()
+        for model in self._cost_models.values():
+            model.compiled.invalidate_routes()
+
     # ------------------------------------------------------------------
     # aggregate load accounting
     # ------------------------------------------------------------------
@@ -460,6 +477,51 @@ class FleetState:
             self._network.add_link(link)
         self._invalidate_caches()
         return joined
+
+    def drop_link(self, a: str, b: str) -> Link:
+        """Remove the link between *a* and *b*; reject a partition.
+
+        Transactional: when removing the link would disconnect the
+        fleet (no redundant path exists), it is re-inserted unchanged
+        and :class:`~repro.exceptions.ServiceError` is raised -- a
+        partitioned fleet cannot route messages, so the caller (the
+        controller's link-failure handler) turns this into a rejected
+        event instead. On success only the route caches are
+        invalidated: placements and compiled tenant arrays stay valid.
+        """
+        link = self._network.remove_link(a, b)
+        if not self._network.is_connected():
+            self._network.add_link(link)
+            raise ServiceError(
+                f"dropping link {a!r}-{b!r} would disconnect the fleet"
+            )
+        self._invalidate_routes()
+        return link
+
+    def degrade_link(
+        self,
+        a: str,
+        b: str,
+        speed_factor: float,
+        propagation_factor: float = 1.0,
+    ) -> Link:
+        """Scale a link's speed/propagation in place; routes rebuild.
+
+        The replacement :class:`~repro.network.topology.Link` is
+        constructed (and validated) first, so a factor that would
+        produce an invalid link raises with the fleet unchanged. The
+        graph structure is untouched -- only route caches invalidate.
+        """
+        link = self._network.link(a, b)
+        degraded = Link(
+            link.a,
+            link.b,
+            link.speed_bps * speed_factor,
+            link.propagation_s * propagation_factor,
+        )
+        self._network.replace_link(degraded)
+        self._invalidate_routes()
+        return degraded
 
     def set_server_power(self, server: str, power_hz: float) -> Server:
         """Change a live server's capacity; links and placements survive.

@@ -48,6 +48,24 @@ class TestRandomNetwork:
         with pytest.raises(NetworkError):
             random_network([1e9] * 3, 1e6, extra_edge_probability=1.5)
 
+    def test_default_rng_matches_historical_seed_zero(self):
+        # rng=None must coerce to the seed-0 stream: byte-identical to
+        # the historical inlined random.Random(0) default
+        def fingerprint(network):
+            return (
+                network.server_names,
+                tuple(
+                    (link.endpoints, link.speed_bps, link.propagation_s)
+                    for link in network.links
+                ),
+            )
+
+        default = random_network([1e9] * 6, [1e6, 9e6])
+        explicit = random_network([1e9] * 6, [1e6, 9e6], rng=random.Random(0))
+        seeded = random_network([1e9] * 6, [1e6, 9e6], rng=0)
+        assert fingerprint(default) == fingerprint(explicit)
+        assert fingerprint(default) == fingerprint(seeded)
+
     def test_deterministic_per_seed(self):
         nets = [
             random_network([1e9] * 6, [1e6, 9e6], rng=random.Random(4))

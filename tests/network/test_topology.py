@@ -193,3 +193,76 @@ class TestOtherFactories:
         assert summary["servers"] == 3
         assert summary["links"] == 3
         assert summary["connected"] is True
+
+
+class TestLiveMutation:
+    """replace_server / remove_link / replace_link on a live network."""
+
+    def test_replace_server_preserves_incident_links(self, chain3):
+        links_before = chain3.links
+        order_before = chain3.server_names
+        chain3.replace_server(Server("S2", 9e9))
+        assert chain3.server("S2").power_hz == 9e9
+        assert chain3.links == links_before
+        assert chain3.server_names == order_before
+        assert set(chain3.neighbors("S2")) == {"S1", "S3"}
+        assert chain3.line_order() == ("S1", "S2", "S3")
+
+    def test_replace_server_unknown_rejected(self, chain3):
+        with pytest.raises(UnknownServerError):
+            chain3.replace_server(Server("S9", 1e9))
+
+    def test_remove_link(self, bus3):
+        removed = bus3.remove_link("S2", "S1")  # order-insensitive
+        assert removed.endpoints == frozenset({"S1", "S2"})
+        assert not bus3.has_link("S1", "S2")
+        assert len(bus3.links) == 2
+        assert bus3.is_connected()  # S1-S3-S2 still routes
+        with pytest.raises(UnknownServerError):
+            bus3.remove_link("S1", "S2")
+
+    def test_remove_link_may_disconnect(self, chain3):
+        chain3.remove_link("S1", "S2")
+        assert not chain3.is_connected()
+
+    def test_replace_link_swaps_parameters_only(self, chain3):
+        old = chain3.link("S1", "S2")
+        chain3.replace_link(Link("S1", "S2", old.speed_bps / 2, 0.25))
+        link = chain3.link("S1", "S2")
+        assert link.speed_bps == old.speed_bps / 2
+        assert link.propagation_s == 0.25
+        assert len(chain3.links) == 2
+        assert chain3.is_line()
+
+    def test_replace_link_unknown_rejected(self, chain3):
+        with pytest.raises(UnknownServerError):
+            chain3.replace_link(Link("S1", "S3", 1e6))
+
+
+class TestHeterogeneousSummary:
+    def test_uniform_bus_summary(self, bus3):
+        summary = bus3.summary()
+        assert summary["uniform_bus"] is True
+        assert summary["min_link_speed_bps"] == 100e6
+        assert summary["max_link_speed_bps"] == 100e6
+        assert summary["max_propagation_s"] == 0.0
+
+    def test_heterogeneous_summary(self):
+        network = ServerNetwork("het")
+        network.add_servers([Server("A", 1e9), Server("B", 2e9)])
+        network.add_link(Link("A", "B", 5e6, 0.02))
+        network.add_server(Server("C", 3e9))
+        network.add_link(Link("B", "C", 50e6, 0.001))
+        summary = network.summary()
+        assert summary["uniform_bus"] is False
+        assert summary["min_link_speed_bps"] == 5e6
+        assert summary["max_link_speed_bps"] == 50e6
+        assert summary["max_propagation_s"] == 0.02
+
+    def test_linkless_summary(self):
+        network = ServerNetwork("solo")
+        network.add_server(Server("A", 1e9))
+        summary = network.summary()
+        assert summary["min_link_speed_bps"] is None
+        assert summary["max_link_speed_bps"] is None
+        assert summary["max_propagation_s"] is None

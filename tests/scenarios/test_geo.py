@@ -1,0 +1,130 @@
+"""Unit tests for the geo-region network factories."""
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.topology import bus_network
+from repro.scenarios import (
+    GEO_REGIONS,
+    REGION_LATENCY_MS,
+    geo_network,
+    random_geo_network,
+    region_of,
+    region_servers,
+)
+
+
+class TestRegionNaming:
+    def test_region_of(self):
+        assert region_of("us-east/1") == "us-east"
+        assert region_of("eu-west/12") == "eu-west"
+        # a bare name is its own region (non-geo fleets degrade to
+        # single-server outages)
+        assert region_of("S3") == "S3"
+
+    def test_region_servers(self):
+        network = geo_network(("us-east", "us-west"), servers_per_region=3)
+        assert region_servers(network, "us-east") == (
+            "us-east/1",
+            "us-east/2",
+            "us-east/3",
+        )
+        assert region_servers(network, "mars") == ()
+
+    def test_region_servers_on_bus(self):
+        network = bus_network([1e9, 1e9], speed_bps=1e6)
+        assert region_servers(network, "S1") == ("S1",)
+
+
+class TestGeoNetwork:
+    def test_default_four_regions(self):
+        network = geo_network()
+        assert len(network) == 8
+        # complete graph: C(8, 2) links
+        assert len(network.links) == 28
+        assert network.is_connected()
+        assert not network.is_uniform_bus()
+
+    def test_lan_vs_backbone(self):
+        network = geo_network(
+            ("us-east", "eu-west"),
+            servers_per_region=2,
+            backbone_bps=1e9,
+            lan_bps=10e9,
+            lan_propagation_s=2e-4,
+        )
+        lan = network.link("us-east/1", "us-east/2")
+        assert lan.speed_bps == 10e9
+        assert lan.propagation_s == 2e-4
+        wan = network.link("us-east/1", "eu-west/2")
+        assert wan.speed_bps == 1e9
+        expected = REGION_LATENCY_MS[frozenset(("us-east", "eu-west"))]
+        assert wan.propagation_s == pytest.approx(expected / 1e3)
+
+    def test_per_server_powers(self):
+        powers = {
+            "us-east/1": 1e9,
+            "us-east/2": 2e9,
+            "us-west/1": 3e9,
+            "us-west/2": 4e9,
+        }
+        network = geo_network(("us-east", "us-west"), power_hz=powers)
+        assert network.server("us-west/1").power_hz == 3e9
+
+    def test_latency_matrix_is_complete(self):
+        # every unordered pair of the default pool has an entry
+        for index, a in enumerate(GEO_REGIONS):
+            for b in GEO_REGIONS[index + 1 :]:
+                assert frozenset((a, b)) in REGION_LATENCY_MS
+
+    def test_rejections(self):
+        with pytest.raises(NetworkError):
+            geo_network(("us-east", "us-east"))
+        with pytest.raises(NetworkError):
+            geo_network(("us-east",), servers_per_region=0)
+        with pytest.raises(NetworkError, match="latency"):
+            geo_network(("us-east", "nowhere"))
+
+
+class TestRandomGeoNetwork:
+    def test_seeded_determinism(self):
+        a = random_geo_network(4, seed=7)
+        b = random_geo_network(4, seed=7)
+        assert a.server_names == b.server_names
+        assert [
+            (link.endpoints, link.speed_bps, link.propagation_s)
+            for link in a.links
+        ] == [
+            (link.endpoints, link.speed_bps, link.propagation_s)
+            for link in b.links
+        ]
+        assert [s.power_hz for s in a] == [s.power_hz for s in b]
+
+    def test_different_seeds_differ(self):
+        a = random_geo_network(4, seed=7)
+        b = random_geo_network(4, seed=8)
+        assert [s.power_hz for s in a] != [s.power_hz for s in b]
+
+    def test_jitter_stays_bounded(self):
+        network = random_geo_network(3, seed=1, latency_jitter=0.1)
+        for link in network.links:
+            a, b = sorted(link.endpoints)
+            region_a, region_b = region_of(a), region_of(b)
+            if region_a == region_b:
+                continue
+            base = REGION_LATENCY_MS[frozenset((region_a, region_b))] / 1e3
+            assert 0.9 * base <= link.propagation_s <= 1.1 * base
+
+    def test_zero_jitter_matches_matrix(self):
+        network = random_geo_network(2, seed=3, latency_jitter=0.0)
+        base = REGION_LATENCY_MS[frozenset(("us-east", "us-west"))]
+        wan = network.link("us-east/1", "us-west/1")
+        assert wan.propagation_s == pytest.approx(base / 1e3)
+
+    def test_rejections(self):
+        with pytest.raises(NetworkError):
+            random_geo_network(0)
+        with pytest.raises(NetworkError):
+            random_geo_network(99)
+        with pytest.raises(NetworkError):
+            random_geo_network(2, latency_jitter=1.5)

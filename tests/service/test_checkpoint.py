@@ -33,6 +33,9 @@ from repro.service.controller import FleetConfig, FleetController
 from repro.service.events import (
     CapacityDrift,
     DeployRequest,
+    LinkDegrade,
+    LinkFailure,
+    RegionOutage,
     ServerFailed,
     ServerJoined,
     Tick,
@@ -67,6 +70,10 @@ class TestEventCodec:
             ServerJoined("S9", 2e9, 5e7, propagation_s=0.001),
             WorkloadDrift("alpha", make_line("alpha", [15e6, 25e6])),
             CapacityDrift("S3", 1.25e9),
+            LinkFailure("S1", "S2"),
+            LinkDegrade("S1", "S3", 0.25),
+            LinkDegrade("S2", "S3", 0.5, propagation_factor=1.5),
+            RegionOutage("us-east"),
             Tick(),
         ],
     )

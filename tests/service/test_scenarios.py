@@ -20,7 +20,14 @@ from .conftest import make_line
 
 class TestCatalogue:
     def test_builtin_names(self):
-        assert builtin_scenarios() == ("steady", "churn", "surge", "drift")
+        assert builtin_scenarios() == (
+            "steady",
+            "churn",
+            "surge",
+            "drift",
+            "abilene",
+            "geo",
+        )
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ServiceError, match="unknown scenario"):
@@ -164,3 +171,53 @@ class TestDriftScenario:
         rescaled = controller.log.filter("capacity-drift", "rescaled")
         assert drifted
         assert rescaled
+
+
+class TestTopologyScenarios:
+    """The real-topology packs: Abilene trunks and geo regions."""
+
+    def test_abilene_replay_is_deterministic(self):
+        first = replay("abilene", seed=0).log.to_text()
+        second = replay("abilene", seed=0).log.to_text()
+        assert first == second
+
+    def test_abilene_exercises_every_link_event_branch(self):
+        log = replay("abilene", seed=0).log
+        assert log.filter("link-degraded", "degraded")
+        assert log.filter("link-failed", "rerouted")
+        rejected = log.filter("link-failed", "rejected")
+        assert rejected
+        assert rejected[0].detail("reason") == "would-partition"
+        # the would-partition failure kept its link: ATLAM5 stays
+        # reachable only through ATLAng in the Abilene graph
+
+    def test_abilene_runs_on_the_bundled_backbone(self):
+        scenario = build_scenario("abilene", seed=0)
+        assert len(scenario.network) == 12
+        assert "IPLSng" in scenario.network
+        assert not scenario.network.is_uniform_bus()
+
+    def test_abilene_seeds_differ(self):
+        assert (
+            replay("abilene", seed=0).log.to_text()
+            != replay("abilene", seed=1).log.to_text()
+        )
+
+    def test_geo_replay_is_deterministic(self):
+        first = replay("geo", seed=0).log.to_text()
+        second = replay("geo", seed=0).log.to_text()
+        assert first == second
+
+    def test_geo_outage_rehomes_orphans(self):
+        log = replay("geo", seed=0).log
+        recovered = log.filter("region-outage", "recovered")
+        assert recovered
+        assert int(recovered[0].detail("orphans")) > 0
+        assert int(recovered[0].detail("servers_lost")) == 2
+        rejected = log.filter("region-outage", "rejected")
+        assert rejected
+        assert rejected[0].detail("reason") == "unknown-region"
+
+    def test_geo_degrade_before_outage(self):
+        log = replay("geo", seed=0).log
+        assert log.filter("link-degraded", "degraded")

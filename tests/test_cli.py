@@ -124,6 +124,98 @@ class TestDeploy:
         assert "error:" in capsys.readouterr().err
 
 
+class TestTopologyOverride:
+    SNDLIB = (
+        "NODES (\n"
+        "  A ( 0.0 0.0 )\n"
+        "  B ( 1.0 0.0 )\n"
+        "  C ( 0.0 1.0 )\n"
+        ")\n"
+        "LINKS (\n"
+        "  L1 ( A B ) 100.0\n"
+        "  L2 ( B C ) 50.0\n"
+        "  L3 ( C A ) 10.0\n"
+        ")\n"
+    )
+
+    def topology_path(self, tmp_path):
+        path = tmp_path / "topo.txt"
+        path.write_text(self.SNDLIB)
+        return path
+
+    def test_deploy_onto_topology_file(
+        self, instance_path, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "deploy",
+                "--instance",
+                str(instance_path),
+                "--topology",
+                str(self.topology_path(tmp_path)),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # the mapping is printed against the topology's servers, not
+        # the instance bundle's S1..S3
+        assert "A:" in out and "B:" in out and "C:" in out
+
+    def test_compare_onto_topology_file(
+        self, instance_path, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "compare",
+                "--instance",
+                str(instance_path),
+                "--topology",
+                str(self.topology_path(tmp_path)),
+                "--algorithms",
+                "FairLoad",
+            ]
+        )
+        assert code == 0
+        assert "topo" in capsys.readouterr().out
+
+    def test_missing_topology_is_one_line_error(
+        self, instance_path, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "deploy",
+                "--instance",
+                str(instance_path),
+                "--topology",
+                str(tmp_path / "nope.txt"),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_malformed_topology_is_one_line_error(
+        self, instance_path, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("NODES (\n A ( x y )\n)\n")
+        code = main(
+            [
+                "deploy",
+                "--instance",
+                str(instance_path),
+                "--topology",
+                str(bad),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "line 2" in err
+        assert "Traceback" not in err
+
+
 class TestCompare:
     def test_table_and_plot(self, instance_path, capsys):
         code = main(
