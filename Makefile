@@ -20,16 +20,18 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # tiny-parameter smoke run of the move-evaluation, core-perf,
-# runtime-overhead, batch-kernel, parallel, service, migration and
-# topology benches (used by CI): exercises both pricing code paths, the
-# compiled-vs-legacy parity check, the legacy-loop parity of the search
-# runtime, the batch-vs-scalar parity of the vectorized kernel, the
-# 2-worker process pool (islands/portfolio + workers=1 identity), and
-# the transition-aware-vs-blind drift replay plus the
-# naive-vs-rebalancing Abilene link-failure replay (their deterministic
-# ratio floors ARE asserted) without asserting the hardware perf floors
+# runtime-overhead, batch-kernel, parallel, service, migration,
+# topology and routing benches (used by CI): exercises both pricing
+# code paths, the compiled-vs-legacy parity check, the legacy-loop
+# parity of the search runtime, the batch-vs-scalar parity of the
+# vectorized kernel, the 2-worker process pool (islands/portfolio +
+# workers=1 identity), the transition-aware-vs-blind drift replay, the
+# naive-vs-rebalancing Abilene link-failure replay, and the batched
+# route-compile / scoped-invalidation comparison (the deterministic
+# ratio and Dijkstra-count floors ARE asserted) without asserting the
+# hardware perf floors
 bench-smoke:
-	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py benchmarks/bench_core_perf.py benchmarks/bench_runtime.py benchmarks/bench_batch_eval.py benchmarks/bench_parallel.py benchmarks/bench_service_queue.py benchmarks/bench_migration.py benchmarks/bench_topology.py --benchmark-disable -q
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_move_eval.py benchmarks/bench_core_perf.py benchmarks/bench_runtime.py benchmarks/bench_batch_eval.py benchmarks/bench_parallel.py benchmarks/bench_service_queue.py benchmarks/bench_migration.py benchmarks/bench_topology.py benchmarks/bench_routing.py --benchmark-disable -q
 
 figures:
 	$(PYTHON) -m repro figures --output benchmarks/output

@@ -190,12 +190,77 @@ class BatchEvaluator:
             if self._sized_pairs:
                 router = self.compiled.router
                 names = self.compiled.server_names
-                for i, j in self._sized_pairs:
-                    matrix[i, j] = router.transmission_time(
-                        names[i], names[j], size_bits
-                    )
+                values = router.transmission_times(
+                    [(names[i], names[j]) for i, j in self._sized_pairs],
+                    size_bits,
+                )
+                for (i, j), value in zip(self._sized_pairs, values):
+                    matrix[i, j] = value
             self._delay_matrices[size_bits] = matrix
         return matrix
+
+    def refresh_routes(
+        self, affected: "set[tuple[int, int]] | None" = None
+    ) -> None:
+        """Rebuild the dense delay matrices after a route refresh.
+
+        Called by :meth:`CompiledInstance.refresh_routes
+        <repro.core.compiled.CompiledInstance.refresh_routes>` once the
+        shared route table holds the post-event coefficients: re-reads
+        every pair into ``base``/``rate`` and recomputes each cached
+        per-size matrix **in place**, because the per-operation incoming
+        tuples hold references to those arrays. One bulk pass instead of
+        discarding the evaluator and re-resolving every pair lazily.
+
+        *affected* (index pairs, both directions) scopes the expensive
+        part: a size-dependent pair outside the affected set kept its
+        per-size optimal paths across the (strictly worsening) change,
+        so its old matrix entries are restored verbatim instead of
+        re-running one Dijkstra per cached message size. ``None`` means
+        every pair may have changed -- re-query them all.
+        """
+        servers = self.num_servers
+        compiled = self.compiled
+        base = np.zeros((servers, servers))
+        rate = np.zeros((servers, servers))
+        sized_pairs: list[tuple[int, int]] = []
+        for i in range(servers):
+            for j in range(servers):
+                coeff = compiled.route_coefficients(i, j)
+                if coeff:
+                    base[i, j] = coeff[0]
+                    rate[i, j] = coeff[1]
+                else:
+                    sized_pairs.append((i, j))
+        self._base = base
+        self._rate = rate
+        self._sized_pairs = tuple(sized_pairs)
+        if compiled.transition_aware:
+            self._migration_table = np.asarray(
+                compiled.migration_table, dtype=np.float64
+            )
+        router = compiled.router
+        names = compiled.server_names
+        for size_bits, matrix in self._delay_matrices.items():
+            kept = {
+                (i, j): matrix[i, j]
+                for i, j in self._sized_pairs
+                if affected is not None and (i, j) not in affected
+            }
+            matrix[...] = base + size_bits * rate
+            requery: list[tuple[int, int]] = []
+            for i, j in self._sized_pairs:
+                value = kept.get((i, j))
+                if value is not None:
+                    matrix[i, j] = value
+                else:
+                    requery.append((i, j))
+            if requery:
+                values = router.transmission_times(
+                    [(names[i], names[j]) for i, j in requery], size_bits
+                )
+                for (i, j), value in zip(requery, values):
+                    matrix[i, j] = value
 
     # ------------------------------------------------------------------
     # batch construction helpers

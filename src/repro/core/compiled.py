@@ -428,7 +428,7 @@ class CompiledInstance:
                 tuple(
                     0.0
                     if target == source
-                    else model.downtime_s + self.delay(source, target, bits)
+                    else model.move_cost(self.delay(source, target, bits))
                     for target in range(self.num_servers)
                 )
             )
@@ -437,22 +437,41 @@ class CompiledInstance:
     # ------------------------------------------------------------------
     # route delays
     # ------------------------------------------------------------------
-    def invalidate_routes(self) -> None:
+    def compile_all_pairs(self) -> None:
+        """Eagerly materialise the whole route-delay table.
+
+        Batched compilation through
+        :meth:`~repro.network.routing.Router.compile_all_pairs` (at most
+        two single-source Dijkstra passes per server) followed by a bulk
+        refill of the lazy per-pair table -- bit-identical entries to
+        what lazy per-pair resolution would produce, just without the
+        2 per pair targeted runs and without counting cache traffic.
+        """
+        self.router.compile_all_pairs()
+        self._refresh_routes(None)
+
+    def invalidate_routes(
+        self,
+        changed_links: tuple[tuple[str, str], ...] | None = None,
+        worsening: bool = False,
+        eager: bool = True,
+        speed_changed: bool = True,
+        propagation_changed: bool = True,
+    ) -> None:
         """Rebuild the route-delay table after link parameters changed.
 
         The explicit invalidation/rebuild hook of the scenario layer:
         when a link fails, degrades or is upgraded, the compiled
         artifact stays valid *except* for everything derived from route
-        delays. This method
-
-        * clears the router's memoised routes (the next query re-runs
-          Dijkstra against the current links),
-        * resets the lazy per-``(server, server)`` route table so every
-          slot re-resolves through the router,
-        * drops the memoised batch evaluator (its dense delay matrices
-          embed the stale coefficients), and
-        * recompiles the migration-cost table when the instance is
-          transition-aware (checkpoint transfer is priced over links).
+        delays. By default the refresh is *eager*: the router recomputes
+        immediately (link-scoped when *changed_links* is given with
+        ``worsening=True`` -- a failure or strict degrade -- full
+        otherwise; see :meth:`repro.network.routing.Router.invalidate`
+        for the asymmetry) and the route table, the migration-cost table
+        and the memoised batch evaluator's dense delay matrices are
+        bulk-refilled in one pass instead of trickling back through
+        per-pair resolutions mid-rebalance. ``eager=False`` is the
+        legacy lazy path: drop everything and let queries refill.
 
         The contract is *link changes only*: the server set, their
         powers and the workflow must be unchanged (those invalidate the
@@ -468,7 +487,27 @@ class CompiledInstance:
                 f"{self.network.name!r}: the server set changed; "
                 f"recompile the instance instead"
             )
-        self.router.clear_cache()
+        if eager:
+            affected = self.router.invalidate(
+                changed_links=changed_links,
+                worsening=worsening,
+                speed_changed=speed_changed,
+                propagation_changed=propagation_changed,
+            )
+            self._refresh_routes(affected)
+        else:
+            self.router.clear_cache()
+            self.reset_routes()
+
+    def reset_routes(self) -> None:
+        """Drop route-derived state, to refill lazily (legacy path).
+
+        Resets the lazy route table, drops the memoised batch evaluator
+        and recompiles the migration table through fresh router queries.
+        Does *not* touch the router's own caches -- the owner (the fleet
+        state shares one router across tenants) clears or invalidates
+        it exactly once.
+        """
         self.routes = [
             [None] * self.num_servers for _ in range(self.num_servers)
         ]
@@ -477,6 +516,88 @@ class CompiledInstance:
         self._batch = None
         if self.transition_aware:
             self.migration_table = self._compile_migration_table()
+
+    def refresh_routes(
+        self, affected: set[tuple[str, str]] | None = None
+    ) -> None:
+        """Refresh route-derived state from an already-updated router.
+
+        The fleet path: the shared router was invalidated (and eagerly
+        recomputed) once at the state level; each tenant's compiled
+        instance then refreshes its own route table, migration rows and
+        batch matrices from the router's caches. *affected* is the
+        scoped set of canonical ``(server, server)`` name pairs returned
+        by :meth:`repro.network.routing.Router.invalidate`, or ``None``
+        for "every pair changed".
+        """
+        self._refresh_routes(affected)
+
+    def _refresh_routes(
+        self, affected: set[tuple[str, str]] | None
+    ) -> None:
+        if affected is not None and not affected:
+            return  # scoped invalidation touched none of the routes
+        routes = self.routes
+        server_index = self.server_index
+        names = self.server_names
+        if affected is None:
+            pairs = [
+                (i, j)
+                for i in range(self.num_servers)
+                for j in range(i + 1, self.num_servers)
+            ]
+        else:
+            pairs = [
+                (server_index[a], server_index[b]) for a, b in affected
+            ]
+        for i, j in pairs:
+            route = self.router.cached_route(names[i], names[j])
+            if route is None:  # pragma: no cover - router compiles first
+                routes[i][j] = None
+                routes[j][i] = None
+                continue
+            coeff: tuple[float, float] | tuple[()]
+            if route.size_independent:
+                coeff = (route.propagation_s, route.transfer_s_per_bit)
+            else:
+                coeff = ()  # size-dependent pair: router answers per size
+            # canonical-direction builds make the coefficients exact for
+            # both directions (the reverse path sums the same links)
+            routes[i][j] = coeff
+            routes[j][i] = coeff
+        if self.transition_aware:
+            if affected is None:
+                self.migration_table = self._compile_migration_table()
+            else:
+                self._refresh_migration_rows(pairs)
+        if self._batch is not None:
+            scope = None
+            if affected is not None:
+                scope = {(i, j) for i, j in pairs}
+                scope |= {(j, i) for i, j in pairs}
+            self._batch.refresh_routes(scope)
+
+    def _refresh_migration_rows(
+        self, pairs: list[tuple[int, int]]
+    ) -> None:
+        """Re-price only the migration moves that cross a changed route."""
+        model = self.objective.migration
+        touched: dict[int, set[int]] = {}
+        for i, j in pairs:
+            touched.setdefault(i, set()).add(j)
+            touched.setdefault(j, set()).add(i)
+        table = [list(row) for row in self.migration_table]
+        for op in range(self.num_ops):
+            source = self.baseline_servers[op]
+            targets = touched.get(source)
+            if not targets:
+                continue
+            bits = model.state_bits(self.cycles[op])
+            for target in targets:
+                table[op][target] = model.move_cost(
+                    self.delay(source, target, bits)
+                )
+        self.migration_table = tuple(tuple(row) for row in table)
 
     def _resolve_route(self, source: int, target: int) -> tuple:
         """Fill one route-table slot from the router's classification."""

@@ -98,6 +98,15 @@ class MigrationCostModel:
         """Transferable state of an operation with ``C(op) = cycles``."""
         return self.state_bits_base + self.state_bits_per_cycle * cycles
 
+    def move_cost(self, delay_s: float) -> float:
+        """The cost of one move whose state transfer takes *delay_s*.
+
+        The single pricing expression shared by the full migration-table
+        compile and the link-scoped row refresh -- one float operation
+        order, so scoped refreshes are bit-identical to recompiles.
+        """
+        return self.downtime_s + delay_s
+
 
 @dataclass(frozen=True)
 class TransitionObjective:

@@ -84,7 +84,12 @@ from repro.service.events import (
     WorkloadDrift,
 )
 from repro.service.log import FleetLog, FleetMetrics, LogRecord, format_detail
-from repro.service.state import FleetSnapshot, FleetState, load_penalty
+from repro.service.state import (
+    ROUTE_INVALIDATION_MODES,
+    FleetSnapshot,
+    FleetState,
+    load_penalty,
+)
 
 # StepClock lives in repro.core.clock now (the search runtime needs it
 # too); re-exported here because it is part of this module's public API.
@@ -164,6 +169,21 @@ class FleetConfig:
         tenant's operations, that tenant's operations are not eligible
         rebalance candidates for this many subsequent ticks --
         dampening move-it-back oscillation under drift. 0 disables.
+    route_invalidation:
+        How link events (failures/degrades) refresh the shared routing
+        caches -- one of
+        :data:`~repro.service.state.ROUTE_INVALIDATION_MODES`.
+        ``"scoped"`` (default) eagerly recomputes only the route pairs
+        whose paths cross a strictly *worsened* link (a failure, or a
+        degrade that is no faster and no less laggy) and bulk-refills
+        every tenant's delay tables in one pass; improvements and
+        upgrades fall back to a full eager recompile, because a better
+        link can attract routes that never crossed it -- the asymmetry
+        is inherent, not an optimisation choice. ``"eager"`` always
+        recompiles the whole table; ``"lazy"`` is the legacy
+        drop-and-refill-on-demand policy. All three modes produce
+        byte-identical fleet decisions and logs; they differ only in
+        when Dijkstra runs (see ``benchmarks/bench_routing.py``).
     """
 
     algorithm: str = "HeavyOps-LargeMsgs"
@@ -181,12 +201,19 @@ class FleetConfig:
     migration_weight: float = 0.0
     rebalance_min_gain: float = 0.0
     rebalance_cooldown_ticks: int = 0
+    route_invalidation: str = "scoped"
 
     def __post_init__(self) -> None:
         if self.penalty_mode not in PENALTY_MODES:
             raise ServiceError(
                 f"unknown penalty mode {self.penalty_mode!r}; expected one "
                 f"of {PENALTY_MODES}"
+            )
+        if self.route_invalidation not in ROUTE_INVALIDATION_MODES:
+            raise ServiceError(
+                f"unknown route invalidation mode "
+                f"{self.route_invalidation!r}; expected one of "
+                f"{ROUTE_INVALIDATION_MODES}"
             )
         if not 0.0 <= self.drift_threshold <= 1.0:
             raise ServiceError("drift_threshold must lie in [0, 1]")
@@ -250,6 +277,7 @@ class FleetController:
             execution_weight=self.config.execution_weight,
             penalty_weight=self.config.penalty_weight,
             penalty_mode=self.config.penalty_mode,
+            route_invalidation=self.config.route_invalidation,
         )
         self.log = FleetLog()
         #: Every event handled so far, in order -- the append-only
@@ -572,7 +600,11 @@ class FleetController:
         if not state.network.has_link(event.a, event.b):
             return subject, "rejected", {"reason": "unknown-link"}
         link = state.degrade_link(
-            event.a, event.b, event.speed_factor, event.propagation_factor
+            event.a,
+            event.b,
+            event.speed_factor,
+            event.propagation_factor,
+            worsening=event.is_worsening,
         )
         details = {
             "speed_bps": format_detail(link.speed_bps),
@@ -1099,10 +1131,13 @@ class FleetController:
             ),
             max_latency_s=max(latencies, default=0.0),
             placement_evaluations=self.evaluations,
-            router_hits=self.state.router.hits,
-            router_misses=self.state.router.misses,
+            router_hits=self.state.router_hits,
+            router_misses=self.state.router_misses,
             cost_model_hits=self.state.cost_model_hits,
             cost_model_misses=self.state.cost_model_misses,
+            route_dijkstra_runs=self.state.router_dijkstra_runs,
+            route_pairs_invalidated=self.state.router_pairs_invalidated,
+            route_pairs_recomputed=self.state.router_pairs_recomputed,
             balance_timeline=tuple(self._balance_timeline),
             final_objective=snapshot.objective,
             final_execution_time=snapshot.execution_time,

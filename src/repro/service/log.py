@@ -217,6 +217,15 @@ class FleetMetrics:
         spreading move applied so far, priced by the controller's
         :class:`~repro.core.migration.MigrationCostModel`. Stays 0.0
         when the controller has no migration model configured.
+    route_dijkstra_runs:
+        Single-source Dijkstra passes executed by the shared router --
+        lazy builds, batched compiles and event-driven recomputes alike
+        (the unit of routing work ``benchmarks/bench_routing.py``
+        compares across invalidation modes).
+    route_pairs_invalidated, route_pairs_recomputed:
+        Route pairs dropped / eagerly recomputed by link-event
+        invalidations. Stay 0 under the lazy invalidation mode or when
+        no link event occurred.
     """
 
     events: int
@@ -243,6 +252,9 @@ class FleetMetrics:
     final_balance_index: float
     tenants_hosted: int
     migration_paid: float = 0.0
+    route_dijkstra_runs: int = 0
+    route_pairs_invalidated: int = 0
+    route_pairs_recomputed: int = 0
 
     @property
     def router_hit_rate(self) -> float:
@@ -307,6 +319,16 @@ class FleetMetrics:
             table.add_row(
                 ["migration paid", format_seconds(self.migration_paid)]
             )
+        if self.route_pairs_invalidated or self.route_pairs_recomputed:
+            # only rendered when a link event actually invalidated
+            # routes, keeping event-free tables byte-identical
+            table.add_row(
+                ["route pairs invalidated", self.route_pairs_invalidated]
+            )
+            table.add_row(
+                ["route pairs recomputed", self.route_pairs_recomputed]
+            )
+            table.add_row(["route Dijkstra runs", self.route_dijkstra_runs])
         return table
 
     def to_text(self) -> str:

@@ -33,12 +33,21 @@ Three builtin scenarios cover the interesting regimes:
     A four-region geo-distributed fleet
     (:func:`repro.scenarios.random_geo_network`) losing an inter-region
     backbone link and then a whole region.
+``diurnal``
+    A three-region fleet under sixteen rounds of sinusoidal traffic
+    waves (:func:`wave_workflow` scaling every message size up and
+    down through the day) while the inter-region trunk browns out at
+    every peak and recovers at every trough -- alternating the
+    link-scoped (worsening) and full (improvement) route-invalidation
+    paths round after round.
 
 :func:`drift_workflow` and :func:`drift_capacity` are the seeded
 perturbation helpers behind the ``drift`` trace: shape-preserving
 multiplicative noise on message sizes / XOR branch probabilities and on
 a server's power. Zero amplitude is an exact no-op that draws nothing
-from the RNG.
+from the RNG. :func:`wave_workflow` is their deterministic sibling:
+an exact multiplicative rescale of every message size, the building
+block of the ``diurnal`` traffic waves.
 """
 
 from __future__ import annotations
@@ -52,7 +61,7 @@ from repro.core.rng import coerce_rng
 from repro.core.workflow import NodeKind, Workflow
 from repro.exceptions import ServiceError
 from repro.network.topology import Server, ServerNetwork
-from repro.scenarios import abilene_network, random_geo_network
+from repro.scenarios import abilene_network, random_geo_network, region_of
 from repro.service.controller import FleetConfig, FleetController, StepClock
 from repro.service.events import (
     CapacityDrift,
@@ -81,6 +90,7 @@ __all__ = [
     "drift_capacity",
     "drift_workflow",
     "replay",
+    "wave_workflow",
 ]
 
 
@@ -305,6 +315,34 @@ def drift_workflow(
     return clone
 
 
+def wave_workflow(
+    workflow: Workflow,
+    factor: float,
+    name: str | None = None,
+) -> Workflow:
+    """A traffic-wave copy of *workflow*: every message size x *factor*.
+
+    The deterministic counterpart of :func:`drift_workflow` -- no RNG,
+    no shape change, just a multiplicative rescale of every message
+    size (floored at one bit). Applying it to the *same* base workflow
+    with a time-varying factor produces diurnal traffic waves whose
+    troughs return byte-exactly to the base sizes, which is what the
+    ``diurnal`` scenario does. XOR probabilities, operation names,
+    edges and cycle counts are untouched, so the result satisfies the
+    :class:`~repro.service.events.WorkloadDrift` contract.
+    """
+    if not (math.isfinite(factor) and factor > 0.0):
+        raise ServiceError(
+            f"wave factor must be a finite positive number, got {factor!r}"
+        )
+    clone = workflow.copy(name or workflow.name)
+    for message in clone.messages:
+        clone.replace_message(
+            replace(message, size_bits=max(1.0, message.size_bits * factor))
+        )
+    return clone
+
+
 def drift_capacity(
     power_hz: float, rng: random.Random, amplitude: float
 ) -> float:
@@ -474,6 +512,76 @@ def _build_geo(seed: int) -> Scenario:
     )
 
 
+def _build_diurnal(seed: int) -> Scenario:
+    """Sinusoidal traffic waves with peak brownouts and trough recoveries.
+
+    Six tenants on a three-region geo fleet, then sixteen rounds of a
+    period-eight day: every round rescales each tenant's *base*
+    workflow by ``1 + 0.6 * sin(2 * pi * round / 8)`` (the
+    :func:`wave_workflow` diurnal wave) plus a light seeded jitter. At
+    every peak the inter-region trunk slows to half speed -- a strict
+    worsening, the link-scoped invalidation path -- and at every trough
+    it doubles back to exactly its base speed (``(s * 0.5) * 2.0 == s``
+    in IEEE-754) -- an improvement, the full-recompile path. The trace
+    therefore alternates both sides of the invalidation asymmetry while
+    the load itself breathes.
+    """
+    rng = coerce_rng(seed)
+    network = random_geo_network(
+        3,
+        servers_per_region=2,
+        seed=rng.randrange(2**31),
+        name="fleet-diurnal",
+    )
+    trunk = next(
+        link
+        for link in network.links
+        if region_of(link.a) != region_of(link.b)
+    )
+    base: dict[str, Workflow] = {}
+    events: list[FleetEvent] = []
+    for index in range(1, 7):
+        tenant = f"tenant-{index:03d}"
+        base[tenant] = _tenant_workflow(rng, index, graph_share=0.4)
+        events.append(DeployRequest(tenant, base[tenant]))
+    events.append(Tick())
+    period = 8
+    for round_index in range(16):
+        factor = 1.0 + 0.6 * math.sin(2 * math.pi * round_index / period)
+        for tenant in sorted(base):
+            waved = wave_workflow(base[tenant], factor)
+            events.append(
+                WorkloadDrift(
+                    tenant, drift_workflow(waved, rng, amplitude=0.05)
+                )
+            )
+        if round_index % period == 2:  # peak: trunk browns out (worsening)
+            events.append(
+                LinkDegrade(trunk.a, trunk.b, speed_factor=0.5)
+            )
+        elif round_index % period == 6:  # trough: trunk recovers (improvement)
+            events.append(
+                LinkDegrade(trunk.a, trunk.b, speed_factor=2.0)
+            )
+        events.append(Tick())
+    config = FleetConfig(
+        drift_threshold=0.1,
+        max_moves_per_rebalance=4,
+        rebalance_cooldown_ticks=1,
+        seed=seed,
+    )
+    return Scenario(
+        name="diurnal",
+        description=(
+            "6 tenants, 16 rounds of sinusoidal traffic waves; trunk "
+            "brownouts at peaks, recoveries at troughs"
+        ),
+        network=network,
+        config=config,
+        events=tuple(events),
+    )
+
+
 _BUILTIN: dict[str, Callable[[int], Scenario]] = {
     "steady": _build_steady,
     "churn": _build_churn,
@@ -481,6 +589,7 @@ _BUILTIN: dict[str, Callable[[int], Scenario]] = {
     "drift": _build_drift,
     "abilene": _build_abilene,
     "geo": _build_geo,
+    "diurnal": _build_diurnal,
 }
 
 

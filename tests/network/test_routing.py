@@ -5,6 +5,7 @@ import pytest
 from repro.exceptions import DisconnectedNetworkError, UnknownServerError
 from repro.network.routing import Router
 from repro.network.topology import (
+    Link,
     Server,
     ServerNetwork,
     bus_network,
@@ -139,6 +140,224 @@ class TestCaching:
             assert router.transmission_time("S1", "S3", size) == pytest.approx(
                 expected
             )
+
+
+class TestCounters:
+    def test_clear_cache_resets_hit_miss_counters(self, bus3):
+        # regression: clear_cache used to keep the old traffic counters,
+        # so post-invalidation hit rates blended pre-change traffic
+        router = Router(bus3)
+        for _ in range(3):
+            router.transmission_time("S1", "S2", 8_000)
+        assert (router.hits, router.misses) == (2, 1)
+        router.clear_cache()
+        assert (router.hits, router.misses) == (0, 0)
+        assert router.hit_rate == 0.0
+
+    def test_clear_cache_keeps_work_counters(self, bus3):
+        router = Router(bus3)
+        router.transmission_time("S1", "S2", 8_000)
+        runs = router.dijkstra_runs
+        assert runs > 0
+        router.clear_cache()
+        assert router.dijkstra_runs == runs
+
+    def test_reset_counters_zeroes_everything(self, bus3):
+        router = Router(bus3)
+        router.transmission_time("S1", "S2", 8_000)
+        router.invalidate()
+        router.reset_counters()
+        assert (router.hits, router.misses) == (0, 0)
+        assert router.dijkstra_runs == 0
+        assert router.pairs_invalidated == 0
+        assert router.pairs_recomputed == 0
+        assert router.last_invalidation is None
+        # caches survive: the next query is still a hit
+        router.transmission_time("S1", "S2", 8_000)
+        assert (router.hits, router.misses) == (1, 0)
+
+
+class TestCompileAllPairs:
+    def test_compile_fills_every_pair(self, chain3):
+        router = Router(chain3)
+        compiled = router.compile_all_pairs()
+        assert compiled == 3  # canonical pairs of 3 servers
+        for a in chain3.server_names:
+            for b in chain3.server_names:
+                if a != b:
+                    assert router.cached_route(a, b) is not None
+        # compiled entries serve queries as cache hits
+        router.transmission_time("S1", "S3", 8_000)
+        assert (router.hits, router.misses) == (1, 0)
+
+    def test_compile_matches_lazy_fill(self, chain3):
+        lazy = Router(chain3)
+        batched = Router(chain3)
+        batched.compile_all_pairs()
+        for a in chain3.server_names:
+            for b in chain3.server_names:
+                if a == b:
+                    continue
+                lazy.pair_coefficients(a, b)
+                left = lazy.cached_route(a, b)
+                right = batched.cached_route(a, b)
+                assert left.path == right.path
+                assert left.propagation_s == right.propagation_s
+                assert left.transfer_s_per_bit == right.transfer_s_per_bit
+                assert left.size_independent == right.size_independent
+
+    def test_compile_skips_cached_pairs(self, chain3):
+        router = Router(chain3)
+        router.pair_coefficients("S1", "S3")
+        assert router.compile_all_pairs() == 2
+
+    def test_cached_route_does_not_count_traffic(self, bus3):
+        router = Router(bus3)
+        assert router.cached_route("S1", "S2") is None
+        router.compile_all_pairs()
+        assert router.cached_route("S1", "S2") is not None
+        assert (router.hits, router.misses) == (0, 0)
+
+
+class TestInvalidate:
+    def _square(self):
+        """S1-S2-S4 and S1-S3-S4: two disjoint two-hop routes."""
+        network = ServerNetwork("square")
+        network.add_servers(
+            [Server(f"S{i}", 1e9) for i in range(1, 5)]
+        )
+        network.connect("S1", "S2", 100e6, propagation_s=0.001)
+        network.connect("S2", "S4", 100e6, propagation_s=0.001)
+        network.connect("S1", "S3", 50e6, propagation_s=0.003)
+        network.connect("S3", "S4", 50e6, propagation_s=0.003)
+        return network
+
+    def test_full_invalidation_recompiles_everything(self):
+        network = self._square()
+        router = Router(network)
+        router.compile_all_pairs()
+        affected = router.invalidate()
+        assert affected is None  # None means "all pairs"
+        assert router.last_invalidation["mode"] == "full"
+        assert router.pairs_invalidated == 6
+        assert router.pairs_recomputed == 6
+
+    def test_scoped_invalidation_recomputes_only_crossing_pairs(self):
+        network = self._square()
+        router = Router(network)
+        router.compile_all_pairs()
+        # worsen the S1-S2 trunk: only routes through it are touched
+        network.replace_link(
+            Link("S1", "S2", 10e6, 0.001)
+        )
+        affected = router.invalidate(
+            changed_links=(("S1", "S2"),), worsening=True
+        )
+        assert affected is not None and affected
+        # the S3-S4 pair rides its own direct link: untouched
+        assert ("S3", "S4") not in affected and ("S4", "S3") not in affected
+        assert router.last_invalidation["mode"] == "scoped"
+        # scoped results equal a fresh router's classification exactly
+        fresh = Router(network)
+        for a in network.server_names:
+            for b in network.server_names:
+                if a == b:
+                    continue
+                fresh.pair_coefficients(a, b)
+                left = router.cached_route(a, b)
+                right = fresh.cached_route(a, b)
+                assert left.path == right.path
+                assert left.propagation_s == right.propagation_s
+                assert left.transfer_s_per_bit == right.transfer_s_per_bit
+                assert left.size_independent == right.size_independent
+
+    def test_improvement_forces_full_invalidation(self):
+        network = self._square()
+        router = Router(network)
+        router.compile_all_pairs()
+        network.replace_link(Link("S1", "S2", 200e6, 0.001))
+        affected = router.invalidate(
+            changed_links=(("S1", "S2"),), worsening=False
+        )
+        assert affected is None
+        assert router.last_invalidation["mode"] == "full"
+
+    def test_speed_only_worsening_reuses_propagation_passes(self):
+        # a speed-only degrade leaves the propagation graph unchanged,
+        # so the scoped recompute skips every min-propagation pass --
+        # and must still match a fresh classification byte for byte
+        network = self._square()
+        router = Router(network)
+        router.compile_all_pairs()
+        runs_before = router.dijkstra_runs
+        network.replace_link(Link("S1", "S2", 10e6, 0.001))
+        router.invalidate(
+            changed_links=(("S1", "S2"),),
+            worsening=True,
+            speed_changed=True,
+            propagation_changed=False,
+        )
+        reuse_runs = router.dijkstra_runs - runs_before
+
+        full = Router(self._square())
+        full.compile_all_pairs()
+        runs_before = full.dijkstra_runs
+        full.network.replace_link(Link("S1", "S2", 10e6, 0.001))
+        full.invalidate(changed_links=(("S1", "S2"),), worsening=True)
+        both_runs = full.dijkstra_runs - runs_before
+        assert reuse_runs < both_runs
+        for a in network.server_names:
+            for b in network.server_names:
+                if a == b:
+                    continue
+                left = router.cached_route(a, b)
+                right = full.cached_route(a, b)
+                assert left.path == right.path
+                assert left.propagation_s == right.propagation_s
+                assert left.transfer_s_per_bit == right.transfer_s_per_bit
+                assert left.size_independent == right.size_independent
+
+    def test_invalidation_preserves_traffic_counters(self):
+        network = self._square()
+        router = Router(network)
+        router.transmission_time("S1", "S4", 8_000)
+        hits, misses = router.hits, router.misses
+        router.invalidate(changed_links=(("S1", "S2"),), worsening=True)
+        assert (router.hits, router.misses) == (hits, misses)
+
+
+class TestBulkTransmissionTimes:
+    def test_bulk_equals_sequential(self):
+        network = ServerNetwork("detour")
+        network.add_servers(
+            [Server("S1", 1e9), Server("S2", 1e9), Server("S3", 1e9)]
+        )
+        network.connect("S1", "S3", 1e6, propagation_s=0.0001)
+        network.connect("S1", "S2", 1e9, propagation_s=0.001)
+        network.connect("S2", "S3", 1e9, propagation_s=0.001)
+        pairs = [
+            (a, b)
+            for a in network.server_names
+            for b in network.server_names
+        ]
+        for size in (0.0, 1_000.0, 1e6):
+            sequential = Router(network)
+            expected = [
+                sequential.transmission_time(a, b, size) for a, b in pairs
+            ]
+            bulk = Router(network)
+            got = bulk.transmission_times(pairs, size)
+            assert got == expected  # exact float equality
+            # grouping must not run more passes than the sequential path
+            assert bulk.dijkstra_runs <= sequential.dijkstra_runs
+
+    def test_bulk_groups_sized_misses_per_source(self, bus3):
+        router = Router(bus3)
+        times = router.transmission_times(
+            [("S1", "S2"), ("S1", "S3"), ("S2", "S3")], 8_000
+        )
+        assert len(times) == 3
+        assert all(t > 0 for t in times)
 
 
 def test_bus_pairs_share_cost(bus3):

@@ -4,15 +4,19 @@ import random
 
 import pytest
 
+from dataclasses import replace
+
 from repro.exceptions import ServiceError
 from repro.io.json_codec import workflow_to_dict
-from repro.service.events import CapacityDrift, WorkloadDrift
+from repro.service.controller import FleetConfig, FleetController, StepClock
+from repro.service.events import CapacityDrift, LinkDegrade, WorkloadDrift
 from repro.service.scenarios import (
     build_scenario,
     builtin_scenarios,
     drift_capacity,
     drift_workflow,
     replay,
+    wave_workflow,
 )
 
 from .conftest import make_line
@@ -27,6 +31,7 @@ class TestCatalogue:
             "drift",
             "abilene",
             "geo",
+            "diurnal",
         )
 
     def test_unknown_scenario_raises(self):
@@ -221,3 +226,89 @@ class TestTopologyScenarios:
     def test_geo_degrade_before_outage(self):
         log = replay("geo", seed=0).log
         assert log.filter("link-degraded", "degraded")
+
+
+class TestWaveWorkflow:
+    def test_scales_every_message_size(self):
+        base = make_line("wave", [100.0, 200.0, 300.0], bits=10_000)
+        peak = wave_workflow(base, 1.5)
+        for message in peak.messages:
+            assert message.size_bits == 15_000.0
+        # the original is untouched
+        assert all(m.size_bits == 10_000 for m in base.messages)
+
+    def test_sizes_floored_at_one_bit(self):
+        base = make_line("wave", [100.0, 200.0], bits=10.0)
+        trough = wave_workflow(base, 1e-6)
+        assert all(m.size_bits == 1.0 for m in trough.messages)
+
+    def test_rename_applies(self):
+        base = make_line("wave", [100.0, 200.0])
+        assert wave_workflow(base, 2.0).name == "wave"
+        assert wave_workflow(base, 2.0, name="peak").name == "peak"
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0, float("nan"), float("inf")])
+    def test_factor_bounds(self, factor):
+        base = make_line("wave", [100.0])
+        with pytest.raises(ServiceError, match="wave factor"):
+            wave_workflow(base, factor)
+
+
+class TestDiurnalScenario:
+    def test_replay_is_deterministic(self):
+        first = replay("diurnal", seed=0).log.to_text()
+        second = replay("diurnal", seed=0).log.to_text()
+        assert first == second
+
+    def test_contains_both_degrade_polarities(self):
+        scenario = build_scenario("diurnal", seed=0)
+        degrades = [
+            event
+            for event in scenario.events
+            if isinstance(event, LinkDegrade)
+        ]
+        assert degrades
+        # peak brownouts are strict worsenings (scoped invalidation);
+        # trough recoveries are improvements (full invalidation)
+        assert any(event.speed_factor == 0.5 for event in degrades)
+        assert any(event.speed_factor == 2.0 for event in degrades)
+
+    def test_waves_drive_rebalances(self):
+        metrics = replay("diurnal", seed=0).metrics()
+        assert metrics.rebalances >= 1
+        assert metrics.route_dijkstra_runs > 0
+
+
+def _replay_with_mode(name, mode, seed=0):
+    scenario = build_scenario(name, seed=seed)
+    controller = FleetController(
+        scenario.network,
+        config=replace(scenario.config, route_invalidation=mode),
+        clock=StepClock(),
+    )
+    controller.run(scenario.events)
+    return controller
+
+
+class TestInvalidationModes:
+    """Scoped, eager and lazy invalidation decide identically."""
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ServiceError, match="route invalidation"):
+            FleetConfig(route_invalidation="sometimes")
+
+    @pytest.mark.parametrize("name", ["abilene", "geo", "diurnal"])
+    def test_modes_agree_byte_for_byte(self, name):
+        logs = {
+            mode: _replay_with_mode(name, mode).log.to_text()
+            for mode in ("scoped", "eager", "lazy")
+        }
+        assert logs["scoped"] == logs["eager"] == logs["lazy"]
+
+    def test_scoped_runs_fewer_dijkstras_than_lazy(self):
+        scoped = _replay_with_mode("abilene", "scoped")
+        lazy = _replay_with_mode("abilene", "lazy")
+        assert (
+            scoped.state.router_dijkstra_runs
+            < lazy.state.router_dijkstra_runs
+        )
