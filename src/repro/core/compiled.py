@@ -527,8 +527,11 @@ class CompiledInstance:
         instance then refreshes its own route table, migration rows and
         batch matrices from the router's caches. *affected* is the
         scoped set of canonical ``(server, server)`` name pairs returned
-        by :meth:`repro.network.routing.Router.invalidate`, or ``None``
-        for "every pair changed".
+        by :meth:`repro.network.routing.Router.invalidate` -- the
+        recomputed pairs plus any size-dependent pair whose per-size
+        fallback entries were dropped (its classification stood but its
+        cached per-size prices did not) -- or ``None`` for "every pair
+        changed".
         """
         self._refresh_routes(affected)
 

@@ -118,7 +118,8 @@ class Router:
     last_invalidation:
         A summary dict of the most recent :meth:`invalidate` call
         (``mode``/``changed_links``/``pairs_invalidated``/
-        ``pairs_recomputed``/``dijkstra_runs``), or ``None``.
+        ``pairs_recomputed``/``dijkstra_runs``, plus
+        ``sized_pairs_dropped`` in scoped mode), or ``None``.
     """
 
     def __init__(self, network: ServerNetwork):
@@ -332,12 +333,17 @@ class Router:
         single-source sized pass per distinct source answers every
         queried target at once, instead of one targeted run per pair.
         (A full pass finalises exactly the paths the targeted runs
-        would; the early break only stops sooner.) This is the bulk
-        entry point :class:`~repro.core.batch.BatchEvaluator` uses to
-        fill and refresh its dense per-size delay matrices.
+        would; the early break only stops sooner.) The hit/miss
+        counters match the sequential calls too: a queued pair that an
+        earlier queued pair's (reverse-direction) store would have
+        answered is counted as the cache hit it would have been. This
+        is the bulk entry point
+        :class:`~repro.core.batch.BatchEvaluator` uses to fill and
+        refresh its dense per-size delay matrices.
         """
         times: list[float] = [0.0] * len(pairs)
         queued: dict[str, list[tuple[int, str]]] = {}
+        queued_keys: set[tuple[str, str]] = set()
         for slot, (source, target) in enumerate(pairs):
             if source == target:
                 continue
@@ -357,7 +363,16 @@ class Router:
                 self.hits += 1
                 times[slot] = self._sized_time(cached, size_bits)
             else:
-                self.misses += 1
+                # counters are settled here, in query order: if this
+                # pair (either direction) is already queued, a
+                # sequential call at this position would be answered
+                # from the earlier miss's store -- a hit
+                if (source, target) in queued_keys:
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                    queued_keys.add((source, target))
+                    queued_keys.add((target, source))
                 queued.setdefault(source, []).append((slot, target))
         if not queued:
             return times
@@ -368,7 +383,8 @@ class Router:
             for slot, target in wanted:
                 # an earlier group's reverse-direction store may already
                 # have answered this pair, exactly as a sequential query
-                # after it would have hit the cache
+                # after it would have hit the cache (already counted as
+                # a hit at queue time above)
                 path = self._sized_path_cache.get((source, target, size_bits))
                 if path is not None:
                     times[slot] = self._sized_time(path, size_bits)
@@ -477,8 +493,14 @@ class Router:
         only the cached pairs whose classification paths traverse a
         changed link are dropped and recomputed: a path untouched by a
         strict worsening keeps exactly its coefficients and stays
-        optimal, because every alternative only got worse. The scoped
-        set of recomputed canonical pairs is returned.
+        optimal, because every alternative only got worse. The returned
+        set of canonical pairs is everything whose *route-derived state*
+        may have changed: the recomputed pairs, plus any size-dependent
+        pair whose cached per-size fallback path crossed a changed link
+        -- a pair's per-size optimum can be a third Pareto path through
+        the change while both classification paths avoid it, so its
+        classification stands but consumers caching per-size prices
+        (dense delay matrices, migration rows) must re-derive them.
 
         Anything else -- no link set, an improvement, a new link -- can
         re-route pairs whose cached paths *avoid* the change, so the
@@ -548,7 +570,14 @@ class Router:
             del self._route_cache[(a, b)]
             del self._route_cache[(b, a)]
         # sized fallbacks: only entries whose stored path crosses a
-        # changed link can be stale under a strict worsening
+        # changed link can be stale under a strict worsening. Their
+        # pairs are not necessarily in `affected` -- a size-dependent
+        # pair's optimum at one size can be a third Pareto path through
+        # a changed link while both classification paths avoid it -- so
+        # the dropped pairs are reported alongside the recomputed ones,
+        # or eager consumers would restore the dropped sizes' old (now
+        # too optimistic) prices verbatim.
+        sized_dropped: set[tuple[str, str]] = set()
         stale = [
             key
             for key, path in self._sized_path_cache.items()
@@ -556,6 +585,7 @@ class Router:
         ]
         for key in stale:
             del self._sized_path_cache[key]
+            sized_dropped.add(key[:2])
         # link weights changed: re-snapshot, then recompute the affected
         # pairs in batched per-source sweeps (canonical direction); when
         # only one weight changed the other's stored paths stand in for
@@ -563,6 +593,11 @@ class Router:
         # graph could only reproduce them
         self._graph = None
         graph = self._compiled_graph()
+        index = graph.index
+        sized_only = {
+            pair if index[pair[0]] < index[pair[1]] else pair[::-1]
+            for pair in sized_dropped
+        } - affected
         by_source: dict[int, list[int]] = {}
         for a, b in affected:
             by_source.setdefault(graph.index[a], []).append(graph.index[b])
@@ -597,9 +632,10 @@ class Router:
             "changed_links": len(links),
             "pairs_invalidated": len(affected),
             "pairs_recomputed": len(affected),
+            "sized_pairs_dropped": len(sized_only),
             "dijkstra_runs": self.dijkstra_runs - runs_before,
         }
-        return affected
+        return affected | sized_only
 
     def _drop_all_routes(self) -> None:
         self._route_cache.clear()

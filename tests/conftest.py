@@ -9,7 +9,12 @@ import pytest
 from repro.core.builder import WorkflowBuilder
 from repro.core.cost import CostModel
 from repro.core.workflow import Message, NodeKind, Operation, Workflow
-from repro.network.topology import bus_network, line_network
+from repro.network.topology import (
+    Server,
+    ServerNetwork,
+    bus_network,
+    line_network,
+)
 
 
 @pytest.fixture
@@ -114,6 +119,30 @@ def slow_bus3():
 def chain3():
     """A 3-server line network with heterogeneous link speeds."""
     return line_network([1e9, 2e9, 3e9], speeds_bps=[10e6, 100e6])
+
+
+@pytest.fixture
+def pareto_triple():
+    """Three disjoint A-B routes with a *third* Pareto-optimal path.
+
+    Min-propagation via ``x`` (1 s + 2e-6 s/bit), min-transfer via
+    ``y`` (10 s + 2e-9 s/bit), and a middle route via ``z``
+    (4 s + 5e-7 s/bit) that wins only at intermediate sizes (6.5 s at
+    5e6 bits, vs 11 s via x and 10.01 s via y) -- so the sized optimum
+    of the size-dependent (A, B) pair crosses links on *neither* of its
+    classification paths. The scoped-invalidation regression trigger.
+    """
+    network = ServerNetwork("pareto-triple")
+    network.add_servers(
+        [Server(name, 1e9) for name in ("A", "x", "y", "z", "B")]
+    )
+    network.connect("A", "x", 1e6, propagation_s=0.5)
+    network.connect("x", "B", 1e6, propagation_s=0.5)
+    network.connect("A", "y", 1e9, propagation_s=5.0)
+    network.connect("y", "B", 1e9, propagation_s=5.0)
+    network.connect("A", "z", 4e6, propagation_s=2.0)
+    network.connect("z", "B", 4e6, propagation_s=2.0)
+    return network
 
 
 @pytest.fixture

@@ -15,8 +15,9 @@ import pytest
 
 from repro.core.batch import BatchEvaluator, BatchScores
 from repro.core.compiled import CompiledInstance, batch_evaluator_or_none
+from repro.core.workflow import Operation, Workflow
 from repro.exceptions import DeploymentError
-from repro.network.topology import bus_network
+from repro.network.topology import Link, bus_network
 from repro.workloads.generator import (
     GraphStructure,
     random_bus_network,
@@ -264,3 +265,31 @@ class TestEvaluatorConstruction:
         assert list(direct.evaluate(batch).objective) == list(
             shared.evaluate(batch).objective
         )
+
+
+class TestScopedRefreshSizedPairs:
+    def test_scoped_refresh_reprices_third_pareto_path(self, pareto_triple):
+        # regression: the (A, B) message's per-size optimum rides the z
+        # route, which is on neither classification path -- after a
+        # scoped invalidation of an A-z worsening the dense delay
+        # matrices must re-derive that entry, not restore the stale one
+        workflow = Workflow("pair")
+        workflow.add_operations(
+            [Operation("op1", 1e9), Operation("op2", 1e9)]
+        )
+        workflow.connect("op1", "op2", 5e6)
+        compiled = CompiledInstance(workflow, pareto_triple)
+        evaluator = compiled.batch_evaluator()
+        row = [0, 4]  # op1 on A, op2 on B
+        before = evaluator.evaluate([row]).execution[0]
+        pareto_triple.replace_link(Link("A", "z", 1e3, 50.0))
+        compiled.invalidate_routes(
+            changed_links=(("A", "z"),), worsening=True
+        )
+        fresh = CompiledInstance(workflow, pareto_triple)
+        fresh_scores = fresh.batch_evaluator().evaluate([row])
+        scores = evaluator.evaluate([row])
+        # byte-identical to a from-scratch compile on the changed net
+        assert scores.execution[0] == fresh_scores.execution[0]
+        assert scores.objective[0] == fresh_scores.objective[0]
+        assert scores.execution[0] > before  # the z detour is gone

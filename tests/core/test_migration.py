@@ -234,3 +234,39 @@ class TestEvaluatorsCarryMigration:
         assert execution == reference.execution_time
         assert penalty == reference.time_penalty
         assert objective == reference.objective
+
+
+class TestScopedInvalidationReprices:
+    def test_sized_pair_migration_rows_reprice(self, pareto_triple):
+        # regression: moving op1 from baseline A to B ships 5e6 bits of
+        # state over the z route -- on neither classification path of
+        # the size-dependent (A, B) pair -- so a scoped invalidation of
+        # an A-z worsening must re-price that migration row rather than
+        # keep the pre-event (now too optimistic) move cost
+        from repro.core.workflow import Operation, Workflow
+        from repro.network.topology import Link
+
+        workflow = Workflow("pair")
+        workflow.add_operations(
+            [Operation("op1", 1e9), Operation("op2", 1e9)]
+        )
+        workflow.connect("op1", "op2", 8_000)
+        objective = TransitionObjective(
+            migration_weight=0.5,
+            migration=MigrationCostModel(state_bits_base=5e6),
+            baseline=Deployment.all_on_one(workflow, "A"),
+        )
+        compiled = CompiledInstance(
+            workflow, pareto_triple, objective=objective
+        )
+        before = compiled.migration_table[0][4]  # op1: A -> B
+        assert before == pytest.approx(6.5)  # state rides z
+        pareto_triple.replace_link(Link("A", "z", 1e3, 50.0))
+        compiled.invalidate_routes(
+            changed_links=(("A", "z"),), worsening=True
+        )
+        fresh = CompiledInstance(
+            workflow, pareto_triple, objective=objective
+        )
+        assert compiled.migration_table == fresh.migration_table
+        assert compiled.migration_table[0][4] == pytest.approx(10.01)

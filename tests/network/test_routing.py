@@ -325,6 +325,52 @@ class TestInvalidate:
         router.invalidate(changed_links=(("S1", "S2"),), worsening=True)
         assert (router.hits, router.misses) == (hits, misses)
 
+    def test_scoped_invalidation_reports_sized_only_pairs(
+        self, pareto_triple
+    ):
+        # regression: a size-dependent pair's per-size optimum can be a
+        # third Pareto path crossing the worsened link while both
+        # classification paths avoid it -- the pair must appear in the
+        # returned set so consumers re-derive its cached per-size
+        # prices instead of restoring the stale (too optimistic) ones
+        router = Router(pareto_triple)
+        router.compile_all_pairs()
+        before = router.transmission_time("A", "B", 5e6)
+        assert before == pytest.approx(6.5)  # via z
+        pareto_triple.replace_link(Link("A", "z", 1e3, 50.0))
+        affected = router.invalidate(
+            changed_links=(("A", "z"),), worsening=True
+        )
+        # both classification paths (via x, via y) avoid A-z, yet the
+        # pair is reported because its sized-cache entry was dropped
+        assert ("A", "B") in affected
+        assert router.last_invalidation["sized_pairs_dropped"] == 1
+        # the classification entry itself stood (it was never stale)
+        route = router.cached_route("A", "B")
+        assert route is not None and not route.size_independent
+        # the re-derived per-size price equals a fresh router's exactly
+        fresh = Router(pareto_triple)
+        after = router.transmission_time("A", "B", 5e6)
+        assert after == fresh.transmission_time("A", "B", 5e6)
+        assert after == pytest.approx(10.01)  # re-routed via y
+
+    def test_scoped_invalidation_off_path_sized_entries_survive(
+        self, pareto_triple
+    ):
+        # the complement: worsening a link that no cached sized path
+        # crosses reports nothing extra and keeps the sized cache warm
+        router = Router(pareto_triple)
+        router.compile_all_pairs()
+        router.transmission_time("A", "B", 5e6)  # sized entry via z
+        pareto_triple.replace_link(Link("A", "y", 1e8, 6.0))
+        affected = router.invalidate(
+            changed_links=(("A", "y"),), worsening=True
+        )
+        assert router.last_invalidation["sized_pairs_dropped"] == 0
+        hits = router.hits
+        assert router.transmission_time("A", "B", 5e6) == pytest.approx(6.5)
+        assert router.hits == hits + 1  # served from the kept entry
+
 
 class TestBulkTransmissionTimes:
     def test_bulk_equals_sequential(self):
@@ -350,6 +396,30 @@ class TestBulkTransmissionTimes:
             assert got == expected  # exact float equality
             # grouping must not run more passes than the sequential path
             assert bulk.dijkstra_runs <= sequential.dijkstra_runs
+
+    def test_bulk_counters_match_sequential(self):
+        # regression: both directions of an uncached size-dependent
+        # pair in one batch counted two misses at queue time, although
+        # the second direction resolves from the first's
+        # reverse-direction store -- sequentially, a hit
+        network = ServerNetwork("detour")
+        network.add_servers(
+            [Server("S1", 1e9), Server("S2", 1e9), Server("S3", 1e9)]
+        )
+        network.connect("S1", "S3", 1e6, propagation_s=0.0001)
+        network.connect("S1", "S2", 1e9, propagation_s=0.001)
+        network.connect("S2", "S3", 1e9, propagation_s=0.001)
+        pairs = [("S1", "S3"), ("S3", "S1"), ("S1", "S3")]
+        sequential = Router(network)
+        expected = [
+            sequential.transmission_time(a, b, 1_000.0) for a, b in pairs
+        ]
+        bulk = Router(network)
+        assert bulk.transmission_times(pairs, 1_000.0) == expected
+        assert (bulk.hits, bulk.misses) == (
+            sequential.hits,
+            sequential.misses,
+        )
 
     def test_bulk_groups_sized_misses_per_source(self, bus3):
         router = Router(bus3)
